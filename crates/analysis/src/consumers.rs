@@ -1,0 +1,101 @@
+//! Consumers-per-atomic-region histogram (Fig 12, §5.4).
+
+use atr_core::RegLifetime;
+use atr_isa::RegClass;
+
+/// Distribution of consumer counts across atomic commit regions.
+///
+/// Bucket `i` (for `i < overflow_bucket`) holds the fraction of atomic
+/// regions with exactly `i` consumers; the last bucket aggregates
+/// everything at or above it (the paper's 3-bit counter reserves 7, so
+/// `>= 7` consumers force no-early-release).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct ConsumerHistogram {
+    /// Fraction of regions per consumer count; last bucket is `>=`.
+    pub buckets: Vec<f64>,
+    /// Mean consumers per region.
+    pub mean: f64,
+    /// Regions counted.
+    pub samples: u64,
+}
+
+/// Builds the Fig 12 histogram over atomic regions of `class`, with
+/// `overflow_bucket` as the saturating last bucket (7 for the paper's
+/// 3-bit counter).
+///
+/// # Panics
+///
+/// Panics if `overflow_bucket` is zero.
+#[must_use]
+pub fn consumer_histogram(
+    records: &[RegLifetime],
+    class: RegClass,
+    overflow_bucket: usize,
+) -> ConsumerHistogram {
+    assert!(overflow_bucket > 0, "need at least one bucket");
+    let mut buckets = vec![0u64; overflow_bucket + 1];
+    let mut total = 0u64;
+    let mut sum = 0u64;
+    for r in records.iter().filter(|r| r.class == class && r.is_atomic()) {
+        let c = r.consumers as usize;
+        buckets[c.min(overflow_bucket)] += 1;
+        sum += u64::from(r.consumers);
+        total += 1;
+    }
+    let d = total.max(1) as f64;
+    ConsumerHistogram {
+        buckets: buckets.into_iter().map(|b| b as f64 / d).collect(),
+        mean: sum as f64 / d,
+        samples: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_core::{RenameConfig, Renamer};
+    use atr_isa::{ArchReg, StaticInst};
+
+    #[test]
+    fn histogram_counts_consumers_of_atomic_regions() {
+        let cfg = RenameConfig { collect_events: true, ..RenameConfig::default() };
+        let mut rn = Renamer::new(&cfg);
+        let r1 = ArchReg::int(1);
+        // Region with exactly 2 consumers.
+        let _ = rn.rename(&StaticInst::alu(0, r1, &[]), 0, 1, false);
+        let _ = rn.rename(&StaticInst::alu(4, ArchReg::int(2), &[r1]), 1, 2, false);
+        let _ = rn.rename(&StaticInst::alu(8, ArchReg::int(3), &[r1]), 2, 3, false);
+        let _ = rn.rename(&StaticInst::alu(12, r1, &[]), 3, 4, false);
+        let h = consumer_histogram(rn.log().records(), RegClass::Int, 7);
+        assert!(h.samples > 0);
+        assert_eq!(h.buckets.len(), 8);
+        assert!(h.buckets[2] > 0.0, "the two-consumer region must appear: {h:?}");
+        let total: f64 = h.buckets.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates() {
+        let cfg = RenameConfig { collect_events: true, ..RenameConfig::default() };
+        let mut rn = Renamer::new(&cfg);
+        let r1 = ArchReg::int(1);
+        let _ = rn.rename(&StaticInst::alu(0, r1, &[]), 0, 1, false);
+        for k in 0..9u64 {
+            let _ = rn.rename(
+                &StaticInst::alu(4 + k * 4, ArchReg::int(2 + (k % 6) as u8), &[r1]),
+                1 + k,
+                2 + k,
+                false,
+            );
+        }
+        let _ = rn.rename(&StaticInst::alu(64, r1, &[]), 20, 30, false);
+        let h = consumer_histogram(rn.log().records(), RegClass::Int, 4);
+        assert!(h.buckets[4] > 0.0, "9 consumers must land in the >=4 bucket");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = consumer_histogram(&[], RegClass::Int, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Analyses over simulator output: the paper's measurement machinery.
+//!
+//! * [`lifetime`] — the §3.1 life-of-a-register accounting (Fig 4's
+//!   in-use / unused / verified-unused breakdown) and the Fig 14
+//!   rename→redefine/consume/commit gaps;
+//! * [`regions`] — the §3.2 region classification (Fig 6's non-branch /
+//!   non-except / atomic allocation ratios);
+//! * [`consumers`] — the Fig 12 consumers-per-atomic-region histogram
+//!   (§5.4 counter-width sensitivity);
+//! * [`power`] — a McPAT-style analytical power/area model for the
+//!   Fig 15 overhead study;
+//! * [`logic`] — a gate-level model of the §4.4 bulk no-early-release
+//!   circuit (gate count and logic depth).
+
+pub mod consumers;
+pub mod lifetime;
+pub mod logic;
+pub mod power;
+pub mod regions;
+
+pub use consumers::{consumer_histogram, ConsumerHistogram};
+pub use lifetime::{atomic_region_gaps, lifecycle_breakdown, LifecycleBreakdown, RegionGaps};
+pub use logic::{BulkReleaseLogic, LogicReport};
+pub use power::{CorePowerModel, PowerReport};
+pub use regions::{region_ratios, RegionRatios};

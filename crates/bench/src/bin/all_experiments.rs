@@ -1,0 +1,129 @@
+//! Runs every experiment in DESIGN.md's index and writes
+//! `results/*.json` plus a combined summary to stdout.
+//!
+//! Budget control: `ATR_SIM_WARMUP` / `ATR_SIM_INSTS` (per measured
+//! window). A full pass at the default budget takes tens of minutes.
+
+use atr_analysis::{BulkReleaseLogic, CorePowerModel};
+use atr_sim::experiments as exp;
+use atr_sim::report::{gain, pct, save_json};
+use atr_sim::SimConfig;
+
+fn main() {
+    let sim = SimConfig::golden_cove();
+    println!(
+        "running all experiments (warmup {}, measure {}) ...",
+        sim.warmup, sim.measure
+    );
+
+    let t0 = std::time::Instant::now();
+
+    let fig01 = exp::fig01(&sim);
+    let _ = save_json("fig01", &fig01);
+    println!(
+        "[{:>5.0?}] fig01: avg normalized IPC @64 = {} (paper 37.7%)",
+        t0.elapsed(),
+        pct(exp::fig01_average(&fig01, 64))
+    );
+
+    let fig04 = exp::fig04(&sim);
+    let _ = save_json("fig04", &fig04);
+    for r in fig04.iter().filter(|r| r.benchmark.starts_with("average")) {
+        println!(
+            "[{:>5.0?}] fig04 {}: in-use {} unused {} verified {} (paper int 53.5/41.0/5.1, fp 78.3/18.9/2.8)",
+            t0.elapsed(),
+            r.benchmark,
+            pct(r.in_use),
+            pct(r.unused),
+            pct(r.verified_unused)
+        );
+    }
+
+    let fig06 = exp::fig06(&sim);
+    let _ = save_json("fig06", &fig06);
+    for r in fig06.iter().filter(|r| r.benchmark.starts_with("average")) {
+        println!(
+            "[{:>5.0?}] fig06 {}: atomic {} (paper int 17.04%, fp 13.14%)",
+            t0.elapsed(),
+            r.benchmark,
+            pct(r.atomic)
+        );
+    }
+
+    let fig10 = exp::fig10(&sim);
+    let _ = save_json("fig10", &fig10);
+    for r in fig10.iter().filter(|r| r.benchmark.starts_with("average")) {
+        println!(
+            "[{:>5.0?}] fig10 {} @{} {}: {}",
+            t0.elapsed(),
+            r.benchmark,
+            r.rf_size,
+            r.scheme,
+            gain(r.speedup)
+        );
+    }
+
+    let fig11 = exp::fig11(&sim);
+    let _ = save_json("fig11", &fig11);
+    for r in &fig11 {
+        println!("[{:>5.0?}] fig11 {} @{}: {}", t0.elapsed(), r.class, r.rf_size, gain(r.speedup));
+    }
+
+    let fig12 = exp::fig12(&sim);
+    let _ = save_json("fig12", &fig12);
+    let mean_all: f64 = fig12.iter().map(|r| r.mean).sum::<f64>() / fig12.len() as f64;
+    let namd = fig12.iter().find(|r| r.benchmark.contains("namd"));
+    println!(
+        "[{:>5.0?}] fig12: mean consumers/region {:.2}; namd mean {:.2} (paper: 1-2 typical, namd up to 5)",
+        t0.elapsed(),
+        mean_all,
+        namd.map_or(0.0, |r| r.mean)
+    );
+
+    let fig13 = exp::fig13(&sim);
+    let _ = save_json("fig13", &fig13);
+    for r in &fig13 {
+        println!("[{:>5.0?}] fig13 {} delay={}: {}", t0.elapsed(), r.class, r.delay, gain(r.speedup));
+    }
+
+    let fig14 = exp::fig14(&sim);
+    let _ = save_json("fig14", &fig14);
+    let avg = |f: fn(&exp::Fig14Row) -> f64| {
+        fig14.iter().map(f).sum::<f64>() / fig14.len() as f64
+    };
+    println!(
+        "[{:>5.0?}] fig14: redefine {:.1}cy, consume {:.1}cy, commit {:.1}cy after rename",
+        t0.elapsed(),
+        avg(|r| r.rename_to_redefine),
+        avg(|r| r.rename_to_consume),
+        avg(|r| r.rename_to_commit)
+    );
+
+    let fig15 = exp::fig15(&sim, 0.03, 8);
+    let _ = save_json("fig15", &fig15);
+    let model = CorePowerModel::default();
+    let base = model.estimate(280, 280);
+    for r in &fig15 {
+        let est = model.estimate(r.required_rf, r.required_rf);
+        println!(
+            "[{:>5.0?}] fig15 {}: {} regs ({} reduction, {} power, {} area)",
+            t0.elapsed(),
+            r.scheme,
+            r.required_rf,
+            pct(r.reduction),
+            pct(est.power_saving_vs(&base)),
+            pct(est.area_saving_vs(&base)),
+        );
+    }
+
+    let logic = BulkReleaseLogic::default().report();
+    println!(
+        "[{:>5.0?}] §4.4: {} gates, {} levels, {:.1} GHz combinational (paper 2,960 / 42 / 2.6)",
+        t0.elapsed(),
+        logic.gates,
+        logic.levels,
+        logic.max_frequency_ghz(1)
+    );
+
+    println!("done in {:?}; JSON in results/", t0.elapsed());
+}

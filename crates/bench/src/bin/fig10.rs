@@ -1,0 +1,32 @@
+//! Regenerates Fig 10: IPC speedup of nonspec-ER / atomic / combined
+//! over the baseline at 64 and 224 physical registers.
+//!
+//! Paper reference at 64 registers: atomic +5.70% (int) / +4.69% (fp);
+//! nonspec-ER +13.91% / +14.43%; combined adds +3.23% / +3.27% over
+//! nonspec-ER. At 224: atomic +1.48% / +1.11%, beating nonspec-ER by
+//! +0.37% / +0.46%.
+
+use atr_sim::report::{gain, render_table, save_json};
+use atr_sim::SimConfig;
+
+fn main() {
+    let sim = SimConfig::golden_cove();
+    let rows = atr_sim::experiments::fig10(&sim);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.class.clone(),
+                r.rf_size.to_string(),
+                r.scheme.clone(),
+                gain(r.speedup),
+            ]
+        })
+        .collect();
+    println!("Fig 10: Scheme speedups over baseline @64/@224 registers\n");
+    print!("{}", render_table(&["benchmark", "suite", "rf", "scheme", "speedup"], &table));
+    if let Ok(path) = save_json("fig10", &rows) {
+        println!("\nsaved {}", path.display());
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig 13: effect of pipelining the redefine/marking logic
+//! by 0/1/2 cycles on the atomic scheme.
+//!
+//! Paper reference: the impact is negligible, because consumption
+//! happens much later than redefinition (Fig 14).
+
+use atr_sim::report::{gain, render_table, save_json};
+use atr_sim::SimConfig;
+
+fn main() {
+    let sim = SimConfig::golden_cove();
+    let rows = atr_sim::experiments::fig13(&sim);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.class.clone(), r.delay.to_string(), gain(r.speedup)])
+        .collect();
+    println!("Fig 13: Redefine-pipeline delay sensitivity @64 registers\n");
+    print!("{}", render_table(&["suite", "delay", "speedup vs baseline"], &table));
+    if let Ok(path) = save_json("fig13", &rows) {
+        println!("\nsaved {}", path.display());
+    }
+}

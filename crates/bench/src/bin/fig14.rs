@@ -1,0 +1,38 @@
+//! Regenerates Fig 14: average cycles between rename, redefine, last
+//! consume, and redefiner commit within atomic commit regions.
+//!
+//! Paper reference: redefinition happens a few cycles after rename,
+//! consumption significantly later (it waits on data dependencies), and
+//! the redefiner's commit much later still — which is why delaying the
+//! redefine signal by 1-2 cycles (Fig 13) costs almost nothing.
+
+use atr_sim::report::{render_table, save_json};
+use atr_sim::SimConfig;
+
+fn main() {
+    let sim = SimConfig::golden_cove();
+    let rows = atr_sim::experiments::fig14(&sim);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.class.clone(),
+                format!("{:.1}", r.rename_to_redefine),
+                format!("{:.1}", r.rename_to_consume),
+                format!("{:.1}", r.rename_to_commit),
+            ]
+        })
+        .collect();
+    println!("Fig 14: Mean cycles from rename within atomic regions\n");
+    print!(
+        "{}",
+        render_table(
+            &["benchmark", "suite", "to redefine", "to last consume", "to redefiner commit"],
+            &table
+        )
+    );
+    if let Ok(path) = save_json("fig14", &rows) {
+        println!("\nsaved {}", path.display());
+    }
+}

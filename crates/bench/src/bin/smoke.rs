@@ -1,0 +1,27 @@
+use atr_core::ReleaseScheme;
+use atr_pipeline::{run_program, CoreConfig};
+use atr_workload::spec;
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    for prof in ["548.exchange2_r", "505.mcf_r", "525.x264_r", "508.namd_r"] {
+        let p = spec::find_profile(prof).unwrap();
+        let program = p.build();
+        print!("{:18}", prof);
+        for rf in [64usize, 224] {
+            for scheme in ReleaseScheme::ALL {
+                let cfg = CoreConfig::default().with_rf_size(rf).with_scheme(scheme);
+                let stats = run_program(&cfg, program.clone(), n);
+                print!(" {}@{}={:.3}", scheme, rf, stats.ipc());
+            }
+        }
+        println!();
+    }
+    // detail stats for one config
+    let p = spec::find_profile("548").unwrap();
+    let cfg = CoreConfig::default().with_rf_size(64);
+    let s = run_program(&cfg, p.build(), n);
+    println!("exchange2 base@64: ipc={:.3} mpki={:.1} mispred_rate={:.3} flushes={} wp_fetched={} wp_renamed={} exc={} freelist_stalls={} occ_int={:.1} atomic_rel={} commit_rel={} flush_rel={} dfa={}",
+        s.ipc(), s.mpki(), s.mispredict_rate(), s.flushes, s.wrong_path_fetched, s.wrong_path_renamed, s.exceptions,
+        s.rename_freelist_stalls, s.avg_int_prf_occupancy(), s.int_prf.released_atomic, s.int_prf.released_commit, s.int_prf.released_flush, s.int_prf.flush_double_free_avoided);
+}

@@ -1,0 +1,1 @@
+//! Benchmark harness support crate (binaries live in src/bin).

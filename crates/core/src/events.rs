@@ -1,0 +1,215 @@
+//! Register lifetime event log.
+//!
+//! One [`RegLifetime`] record per physical-register allocation captures
+//! every timestamp of the §3.1 life-of-a-register analysis (renamed,
+//! last-consumed, redefined, redefiner-precommitted, redefiner-committed,
+//! released) plus the region classification bits that drive Fig 4, Fig 6,
+//! Fig 12, and Fig 14.
+
+use atr_isa::RegClass;
+
+/// Which mechanism released a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReleaseKind {
+    /// Conventional release at commit of the redefining instruction.
+    RedefinerCommit,
+    /// Non-speculative early release at/after precommit of the redefiner.
+    Precommit,
+    /// ATR out-of-order release inside an atomic commit region.
+    Atomic,
+    /// Reclaimed by the flush walk (squashed allocator).
+    FlushWalk,
+}
+
+/// The lifetime of one physical-register allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegLifetime {
+    /// Register class (scalar vs vector file).
+    pub class: RegClass,
+    /// Cycle the allocating instruction renamed.
+    pub alloc_cycle: u64,
+    /// Sequence number of the allocating instruction.
+    pub alloc_seq: u64,
+    /// Allocating instruction was on the wrong path.
+    pub wrong_path: bool,
+    /// Total consumers renamed against this allocation.
+    pub consumers: u32,
+    /// Cycle the last consumer issued, if any consumer issued.
+    pub last_consume_cycle: Option<u64>,
+    /// Cycle the redefining instruction renamed.
+    pub redefine_cycle: Option<u64>,
+    /// Cycle the redefining instruction precommitted.
+    pub redefiner_precommit_cycle: Option<u64>,
+    /// Cycle the redefining instruction committed.
+    pub redefiner_commit_cycle: Option<u64>,
+    /// Cycle the register was returned to the free list.
+    pub release_cycle: Option<u64>,
+    /// The mechanism that released it.
+    pub release_kind: Option<ReleaseKind>,
+    /// A conditional branch or indirect jump was renamed while live
+    /// (breaks the *non-branch* region property of Fig 6).
+    pub saw_branch: bool,
+    /// An exception-capable instruction (load/store/div) was renamed
+    /// while live (breaks the *non-except* region property of Fig 6).
+    pub saw_exception: bool,
+    /// The consumer counter overflowed its width (§5.4).
+    pub overflowed: bool,
+}
+
+impl RegLifetime {
+    fn new(class: RegClass, alloc_cycle: u64, alloc_seq: u64, wrong_path: bool) -> Self {
+        RegLifetime {
+            class,
+            alloc_cycle,
+            alloc_seq,
+            wrong_path,
+            consumers: 0,
+            last_consume_cycle: None,
+            redefine_cycle: None,
+            redefiner_precommit_cycle: None,
+            redefiner_commit_cycle: None,
+            release_cycle: None,
+            release_kind: None,
+            saw_branch: false,
+            saw_exception: false,
+            overflowed: false,
+        }
+    }
+
+    /// Was this allocation inside an *atomic commit region* (Fig 6):
+    /// redefined with no branch and no exception-capable instruction
+    /// renamed in between?
+    #[must_use]
+    pub fn is_atomic(&self) -> bool {
+        self.redefine_cycle.is_some() && !self.saw_branch && !self.saw_exception
+    }
+
+    /// Fig 6's *non-branch* region property.
+    #[must_use]
+    pub fn is_non_branch(&self) -> bool {
+        self.redefine_cycle.is_some() && !self.saw_branch
+    }
+
+    /// Fig 6's *non-except* region property.
+    #[must_use]
+    pub fn is_non_except(&self) -> bool {
+        self.redefine_cycle.is_some() && !self.saw_exception
+    }
+}
+
+/// Handle into the [`LifetimeLog`] for updating a live allocation.
+pub type EventHandle = usize;
+
+/// Append-only log of register lifetimes.
+///
+/// Disabled logs ([`LifetimeLog::disabled`]) make every operation a
+/// no-op so performance runs pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LifetimeLog {
+    enabled: bool,
+    records: Vec<RegLifetime>,
+}
+
+impl LifetimeLog {
+    /// Creates an enabled log.
+    #[must_use]
+    pub fn enabled() -> Self {
+        LifetimeLog { enabled: true, records: Vec::new() }
+    }
+
+    /// Creates a disabled (no-op) log.
+    #[must_use]
+    pub fn disabled() -> Self {
+        LifetimeLog::default()
+    }
+
+    /// Is the log collecting?
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an allocation; returns a handle for later updates
+    /// (`None` when disabled).
+    pub fn on_alloc(
+        &mut self,
+        class: RegClass,
+        cycle: u64,
+        seq: u64,
+        wrong_path: bool,
+    ) -> Option<EventHandle> {
+        if !self.enabled {
+            return None;
+        }
+        self.records.push(RegLifetime::new(class, cycle, seq, wrong_path));
+        Some(self.records.len() - 1)
+    }
+
+    /// Applies `f` to the record behind `handle` (no-op when disabled).
+    pub fn update(&mut self, handle: Option<EventHandle>, f: impl FnOnce(&mut RegLifetime)) {
+        if let Some(h) = handle {
+            if let Some(r) = self.records.get_mut(h) {
+                f(r);
+            }
+        }
+    }
+
+    /// All completed and in-flight records.
+    #[must_use]
+    pub fn records(&self) -> &[RegLifetime] {
+        &self.records
+    }
+
+    /// Number of records collected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_is_noop() {
+        let mut log = LifetimeLog::disabled();
+        assert_eq!(log.on_alloc(RegClass::Int, 1, 2, false), None);
+        log.update(None, |_| panic!("must not run"));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn enabled_log_tracks_updates() {
+        let mut log = LifetimeLog::enabled();
+        let h = log.on_alloc(RegClass::Int, 10, 7, false);
+        assert_eq!(h, Some(0));
+        log.update(h, |r| {
+            r.consumers = 2;
+            r.redefine_cycle = Some(20);
+        });
+        let r = &log.records()[0];
+        assert_eq!(r.consumers, 2);
+        assert_eq!(r.redefine_cycle, Some(20));
+    }
+
+    #[test]
+    fn region_classification() {
+        let mut r = RegLifetime::new(RegClass::Int, 0, 0, false);
+        assert!(!r.is_atomic(), "unredefined allocation is not a region");
+        r.redefine_cycle = Some(5);
+        assert!(r.is_atomic());
+        r.saw_exception = true;
+        assert!(!r.is_atomic());
+        assert!(r.is_non_branch());
+        assert!(!r.is_non_except());
+        r.saw_branch = true;
+        assert!(!r.is_non_branch());
+    }
+}

@@ -1,0 +1,147 @@
+//! The physical-register free list.
+
+use crate::ptag::PTag;
+use atr_isa::RegClass;
+use std::collections::VecDeque;
+
+/// FIFO free list of physical register tags for one register class.
+///
+/// Rename stalls when the free list drops below the low-watermark
+/// `MAX_DEST × WIDTH_STAGE` (§4.2.1); the watermark lives in the rename
+/// configuration — the free list just reports its occupancy.
+#[derive(Debug, Clone)]
+pub struct FreeList {
+    class: RegClass,
+    free: VecDeque<PTag>,
+    /// Debug shadow: is tag i currently free? Catches double frees —
+    /// the failure ATR's §4.2.4 machinery exists to prevent.
+    is_free: Vec<bool>,
+    total: usize,
+}
+
+impl FreeList {
+    /// Creates a free list holding tags `first..total` of `class`
+    /// (tags below `first` are the initial architectural mappings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first > total`.
+    #[must_use]
+    pub fn new(class: RegClass, first: usize, total: usize) -> Self {
+        assert!(first <= total, "initial mappings exceed file size");
+        let mut is_free = vec![false; total];
+        let mut free = VecDeque::with_capacity(total);
+        for (i, slot) in is_free.iter_mut().enumerate().skip(first) {
+            free.push_back(PTag::new(class, i as u32));
+            *slot = true;
+        }
+        FreeList { class, free, is_free, total }
+    }
+
+    /// Number of free tags.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when no tags are free.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Total physical registers (free + allocated).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.total
+    }
+
+    /// Allocates the oldest free tag, or `None` when empty.
+    pub fn allocate(&mut self) -> Option<PTag> {
+        let tag = self.free.pop_front()?;
+        debug_assert!(self.is_free[tag.index()]);
+        self.is_free[tag.index()] = false;
+        Some(tag)
+    }
+
+    /// Returns `tag` to the free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double free or a tag of the wrong class — the
+    /// correctness property the release schemes must maintain.
+    pub fn release(&mut self, tag: PTag) {
+        assert_eq!(tag.class(), self.class, "freed tag of wrong class");
+        assert!(
+            !self.is_free[tag.index()],
+            "double free of physical register {tag}"
+        );
+        self.is_free[tag.index()] = true;
+        self.free.push_back(tag);
+    }
+
+    /// Is `tag` currently free? (diagnostics)
+    #[must_use]
+    pub fn contains(&self, tag: PTag) -> bool {
+        self.is_free[tag.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_release_round_trip() {
+        let mut fl = FreeList::new(RegClass::Int, 16, 64);
+        assert_eq!(fl.len(), 48);
+        let t = fl.allocate().unwrap();
+        assert_eq!(t.index(), 16);
+        assert_eq!(fl.len(), 47);
+        fl.release(t);
+        assert_eq!(fl.len(), 48);
+    }
+
+    #[test]
+    fn allocation_is_fifo() {
+        let mut fl = FreeList::new(RegClass::Int, 0, 4);
+        let a = fl.allocate().unwrap();
+        fl.release(a);
+        // a went to the back; next allocations are 1, 2, 3, then a again.
+        assert_eq!(fl.allocate().unwrap().index(), 1);
+        assert_eq!(fl.allocate().unwrap().index(), 2);
+        assert_eq!(fl.allocate().unwrap().index(), 3);
+        assert_eq!(fl.allocate().unwrap().index(), 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut fl = FreeList::new(RegClass::Fp, 0, 2);
+        assert!(fl.allocate().is_some());
+        assert!(fl.allocate().is_some());
+        assert!(fl.allocate().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut fl = FreeList::new(RegClass::Int, 0, 4);
+        let t = fl.allocate().unwrap();
+        fl.release(t);
+        fl.release(t);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong class")]
+    fn wrong_class_release_panics() {
+        let mut fl = FreeList::new(RegClass::Int, 0, 4);
+        fl.release(PTag::new(RegClass::Fp, 0));
+    }
+
+    #[test]
+    fn initial_mappings_are_not_free() {
+        let fl = FreeList::new(RegClass::Int, 16, 64);
+        assert!(!fl.contains(PTag::new(RegClass::Int, 0)));
+        assert!(fl.contains(PTag::new(RegClass::Int, 16)));
+    }
+}

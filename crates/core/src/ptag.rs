@@ -1,0 +1,103 @@
+//! Physical register tags and per-class container.
+
+use atr_isa::RegClass;
+use std::fmt;
+
+/// A physical register tag: an index into the physical register file of
+/// one register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PTag {
+    class: RegClass,
+    index: u32,
+}
+
+impl PTag {
+    /// Creates a tag for physical register `index` of `class`.
+    #[must_use]
+    pub fn new(class: RegClass, index: u32) -> Self {
+        PTag { class, index }
+    }
+
+    /// The register class this tag belongs to.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the class's physical register file.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for PTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "p{}", self.index),
+            RegClass::Fp => write!(f, "q{}", self.index),
+        }
+    }
+}
+
+/// A pair of values indexed by [`RegClass`] (split scalar/vector files,
+/// §4.2.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerClass<T> {
+    /// The scalar-integer instance.
+    pub int: T,
+    /// The vector/FP instance.
+    pub fp: T,
+}
+
+impl<T> PerClass<T> {
+    /// Builds both instances from a constructor taking the class.
+    pub fn from_fn(mut f: impl FnMut(RegClass) -> T) -> Self {
+        PerClass { int: f(RegClass::Int), fp: f(RegClass::Fp) }
+    }
+
+    /// Shared access by class.
+    pub fn get(&self, class: RegClass) -> &T {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Fp => &self.fp,
+        }
+    }
+
+    /// Mutable access by class.
+    pub fn get_mut(&mut self, class: RegClass) -> &mut T {
+        match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Fp => &mut self.fp,
+        }
+    }
+
+    /// Iterates over `(class, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RegClass, &T)> {
+        [(RegClass::Int, &self.int), (RegClass::Fp, &self.fp)].into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ptag_accessors() {
+        let p = PTag::new(RegClass::Fp, 17);
+        assert_eq!(p.class(), RegClass::Fp);
+        assert_eq!(p.index(), 17);
+        assert_eq!(p.to_string(), "q17");
+        assert_eq!(PTag::new(RegClass::Int, 3).to_string(), "p3");
+    }
+
+    #[test]
+    fn per_class_indexing() {
+        let mut pc = PerClass::from_fn(|c| if c == RegClass::Int { 1 } else { 2 });
+        assert_eq!(*pc.get(RegClass::Int), 1);
+        assert_eq!(*pc.get(RegClass::Fp), 2);
+        *pc.get_mut(RegClass::Fp) = 9;
+        assert_eq!(pc.fp, 9);
+        assert_eq!(pc.iter().count(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! The register-release scheme selector.
+
+use std::fmt;
+
+/// Which register-release scheme the renamer runs (§5.2 evaluates all
+/// four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseScheme {
+    /// Conventional release: the previous ptag is freed when the
+    /// redefining instruction commits (§2.1).
+    Baseline,
+    /// Non-speculative early release: freed when the redefining
+    /// instruction precommits and the consumer count is zero (§2.3).
+    NonSpecEr,
+    /// ATR: out-of-order release inside atomic commit regions (§4).
+    Atr {
+        /// Cycles the redefine signal is delayed to model the pipelined
+        /// bulk no-early-release logic (§4.2.2, Fig 13). 0 = combinational.
+        redefine_delay: u32,
+    },
+    /// ATR plus non-speculative early release (§4.3).
+    Combined {
+        /// See [`ReleaseScheme::Atr::redefine_delay`].
+        redefine_delay: u32,
+    },
+}
+
+impl ReleaseScheme {
+    /// Does this scheme maintain per-ptag consumer counts?
+    #[must_use]
+    pub fn tracks_consumers(self) -> bool {
+        !matches!(self, ReleaseScheme::Baseline)
+    }
+
+    /// Does this scheme release via atomic commit regions?
+    #[must_use]
+    pub fn atr_enabled(self) -> bool {
+        matches!(self, ReleaseScheme::Atr { .. } | ReleaseScheme::Combined { .. })
+    }
+
+    /// Does this scheme release at precommit of the redefiner?
+    #[must_use]
+    pub fn precommit_enabled(self) -> bool {
+        matches!(self, ReleaseScheme::NonSpecEr | ReleaseScheme::Combined { .. })
+    }
+
+    /// The configured redefine-signal delay (0 for non-ATR schemes).
+    #[must_use]
+    pub fn redefine_delay(self) -> u32 {
+        match self {
+            ReleaseScheme::Atr { redefine_delay } | ReleaseScheme::Combined { redefine_delay } => {
+                redefine_delay
+            }
+            _ => 0,
+        }
+    }
+
+    /// Must consumer counts be restored during a flush walk?
+    ///
+    /// ATR-only runs do not restore counts (§4.2.3: consumers of atomic
+    /// registers flush together with their producer, and blocked ptags
+    /// never early-release). Schemes using precommit release need exact
+    /// counts for non-atomic regions, so the walk decrements counts of
+    /// squashed, un-issued consumers — the walk-based equivalent of the
+    /// snapshot FIFOs in Moudgill et al.
+    #[must_use]
+    pub fn restores_counts_on_flush(self) -> bool {
+        self.precommit_enabled()
+    }
+
+    /// All four schemes in evaluation order.
+    pub const ALL: [ReleaseScheme; 4] = [
+        ReleaseScheme::Baseline,
+        ReleaseScheme::NonSpecEr,
+        ReleaseScheme::Atr { redefine_delay: 0 },
+        ReleaseScheme::Combined { redefine_delay: 0 },
+    ];
+
+    /// Short label used in experiment output ("baseline", "nonspec-ER",
+    /// "atomic", "combined" — the paper's legend names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ReleaseScheme::Baseline => "baseline",
+            ReleaseScheme::NonSpecEr => "nonspec-ER",
+            ReleaseScheme::Atr { .. } => "atomic",
+            ReleaseScheme::Combined { .. } => "combined",
+        }
+    }
+}
+
+impl fmt::Display for ReleaseScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_paper() {
+        use ReleaseScheme::*;
+        assert!(!Baseline.tracks_consumers());
+        assert!(NonSpecEr.tracks_consumers());
+        assert!(Atr { redefine_delay: 0 }.atr_enabled());
+        assert!(!NonSpecEr.atr_enabled());
+        assert!(Combined { redefine_delay: 0 }.atr_enabled());
+        assert!(Combined { redefine_delay: 0 }.precommit_enabled());
+        assert!(!Atr { redefine_delay: 0 }.precommit_enabled());
+    }
+
+    #[test]
+    fn count_restore_policy() {
+        use ReleaseScheme::*;
+        assert!(!Baseline.restores_counts_on_flush());
+        assert!(!Atr { redefine_delay: 2 }.restores_counts_on_flush());
+        assert!(NonSpecEr.restores_counts_on_flush());
+        assert!(Combined { redefine_delay: 1 }.restores_counts_on_flush());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = ReleaseScheme::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

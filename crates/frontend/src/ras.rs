@@ -1,0 +1,100 @@
+//! Return address stack with snapshot-based misprediction repair.
+
+/// A fixed-depth return address stack, updated speculatively at fetch.
+///
+/// The pipeline snapshots the RAS alongside the branch histories at every
+/// prediction and restores the snapshot when a flush unwinds past it —
+/// the simple and exact software-model equivalent of hardware
+/// top-of-stack repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ras {
+    stack: Vec<u64>,
+    capacity: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be non-zero");
+        Ras { stack: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Pushes a return address (on predicting a call). On overflow the
+    /// oldest entry is discarded, matching circular hardware stacks.
+    pub fn push(&mut self, ret: u64) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(ret);
+    }
+
+    /// Pops the predicted return target (on predicting a return).
+    /// Returns `None` when empty (the fetch unit then falls back to the
+    /// BTB or stalls until resolve).
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True when no entries are stacked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(8);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x100));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_discards_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn snapshot_restore_is_exact() {
+        let mut r = Ras::new(8);
+        r.push(0xa);
+        r.push(0xb);
+        let snap = r.clone();
+        let _ = r.pop();
+        r.push(0xdead);
+        r = snap;
+        assert_eq!(r.pop(), Some(0xb));
+        assert_eq!(r.pop(), Some(0xa));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Ras::new(0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Static and dynamic instruction representations.
+
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+use std::fmt;
+
+/// Maximum number of register sources per micro-op.
+pub const MAX_SRCS: usize = 3;
+
+/// Monotonically increasing dynamic instruction sequence number; defines
+/// the age order used by the ROB, LSQ, and flush logic.
+pub type InstSeq = u64;
+
+/// A precise exception a dynamic instruction may raise at execute and
+/// deliver at commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exception {
+    /// Page fault on a load or store.
+    PageFault,
+    /// Integer or FP divide by zero.
+    DivideByZero,
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::PageFault => f.write_str("page fault"),
+            Exception::DivideByZero => f.write_str("divide by zero"),
+        }
+    }
+}
+
+/// One instruction of the *static* program (the analogue of a decoded
+/// binary). Fetch walks static instructions by PC — including down
+/// mispredicted paths, which is what makes wrong-path register allocation
+/// and ATR's double-free avoidance observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Program counter of this instruction.
+    pub pc: u64,
+    /// Encoded size in bytes (used for fetch-block accounting).
+    pub size: u8,
+    /// Micro-op class.
+    pub class: OpClass,
+    /// Register sources (packed, `None`-padded).
+    pub srcs: [Option<ArchReg>; MAX_SRCS],
+    /// Register destination, if any.
+    pub dst: Option<ArchReg>,
+    /// PC of the next sequential instruction.
+    pub fallthrough: u64,
+    /// Taken target for direct control flow (`CondBranch`, `DirectJump`,
+    /// `Call`). `None` for non-control-flow and indirect control flow.
+    pub taken_target: Option<u64>,
+}
+
+impl StaticInst {
+    /// Default encoded instruction size in bytes.
+    pub const DEFAULT_SIZE: u8 = 4;
+
+    /// Creates an instruction with explicit fields; `fallthrough` is
+    /// derived from `pc` and the default size.
+    #[must_use]
+    pub fn new(pc: u64, class: OpClass, dst: Option<ArchReg>, srcs: &[ArchReg]) -> Self {
+        assert!(srcs.len() <= MAX_SRCS, "too many sources");
+        let mut s = [None; MAX_SRCS];
+        for (slot, reg) in s.iter_mut().zip(srcs.iter()) {
+            *slot = Some(*reg);
+        }
+        StaticInst {
+            pc,
+            size: Self::DEFAULT_SIZE,
+            class,
+            srcs: s,
+            dst,
+            fallthrough: pc + u64::from(Self::DEFAULT_SIZE),
+            taken_target: None,
+        }
+    }
+
+    /// Convenience constructor for a single-cycle ALU op.
+    #[must_use]
+    pub fn alu(pc: u64, dst: ArchReg, srcs: &[ArchReg]) -> Self {
+        StaticInst::new(pc, OpClass::IntAlu, Some(dst), srcs)
+    }
+
+    /// Convenience constructor for a load `dst <- [base]`.
+    #[must_use]
+    pub fn load(pc: u64, dst: ArchReg, base: ArchReg) -> Self {
+        StaticInst::new(pc, OpClass::Load, Some(dst), &[base])
+    }
+
+    /// Convenience constructor for a store `[base] <- data`.
+    #[must_use]
+    pub fn store(pc: u64, base: ArchReg, data: ArchReg) -> Self {
+        StaticInst::new(pc, OpClass::Store, None, &[base, data])
+    }
+
+    /// Convenience constructor for a conditional branch reading `srcs`
+    /// with taken target `target`.
+    #[must_use]
+    pub fn cond_branch(pc: u64, target: u64, srcs: &[ArchReg]) -> Self {
+        let mut i = StaticInst::new(pc, OpClass::CondBranch, None, srcs);
+        i.taken_target = Some(target);
+        i
+    }
+
+    /// Convenience constructor for an unconditional direct jump.
+    #[must_use]
+    pub fn jump(pc: u64, target: u64) -> Self {
+        let mut i = StaticInst::new(pc, OpClass::DirectJump, None, &[]);
+        i.taken_target = Some(target);
+        i
+    }
+
+    /// Iterator over the populated source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().filter_map(|s| *s)
+    }
+
+    /// Number of populated source registers.
+    #[must_use]
+    pub fn source_count(&self) -> usize {
+        self.srcs.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {}", self.pc, self.class.mnemonic())?;
+        if let Some(d) = self.dst {
+            write!(f, " {d} <-")?;
+        }
+        for s in self.sources() {
+            write!(f, " {s}")?;
+        }
+        if let Some(t) = self.taken_target {
+            write!(f, " -> {t:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The architecturally correct (or, on the wrong path, synthesized)
+/// outcome of one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynOutcome {
+    /// For control flow: was the branch taken? Always `true` for
+    /// unconditional control flow, `false` for non-control-flow.
+    pub taken: bool,
+    /// The next PC actually executed after this instruction.
+    pub next_pc: u64,
+    /// Effective address for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Exception this instruction raises when it reaches the head of the
+    /// ROB (fault injection; `None` in normal runs).
+    pub exception: Option<Exception>,
+}
+
+impl DynOutcome {
+    /// Outcome for a non-control-flow, non-memory instruction.
+    #[must_use]
+    pub fn fallthrough(inst: &StaticInst) -> Self {
+        DynOutcome {
+            taken: false,
+            next_pc: inst.fallthrough,
+            mem_addr: None,
+            exception: None,
+        }
+    }
+}
+
+/// One dynamic instance of a static instruction, as produced by fetch.
+///
+/// Pipeline bookkeeping (rename results, timestamps, completion state)
+/// lives in the pipeline's ROB entry, keeping this type a pure
+/// trace-record that both the oracle stream and the wrong-path
+/// synthesizer can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Global fetch-order sequence number (age).
+    pub seq: InstSeq,
+    /// The static instruction this instance executes.
+    pub sinst: StaticInst,
+    /// Architectural outcome (correct path) or synthesized outcome
+    /// (wrong path).
+    pub outcome: DynOutcome,
+    /// True if fetched past an unresolved misprediction, i.e. this
+    /// instance will certainly be squashed.
+    pub on_wrong_path: bool,
+    /// Index into the oracle stream for on-path instructions (used to
+    /// resume fetch after a flush); meaningless on the wrong path.
+    pub oracle_idx: u64,
+}
+
+impl DynInst {
+    /// The dynamic taken/not-taken direction of this instance.
+    #[must_use]
+    pub fn taken(&self) -> bool {
+        self.outcome.taken
+    }
+
+    /// The dynamic next PC of this instance.
+    #[must_use]
+    pub fn next_pc(&self) -> u64 {
+        self.outcome.next_pc
+    }
+}
+
+impl fmt::Display for DynInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}] {}",
+            self.seq,
+            if self.on_wrong_path { " WP" } else { "" },
+            self.sinst
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn constructors_populate_sources_in_order() {
+        let i = StaticInst::alu(0x40, r(1), &[r(2), r(3)]);
+        assert_eq!(i.srcs[0], Some(r(2)));
+        assert_eq!(i.srcs[1], Some(r(3)));
+        assert_eq!(i.srcs[2], None);
+        assert_eq!(i.source_count(), 2);
+        assert_eq!(i.dst, Some(r(1)));
+    }
+
+    #[test]
+    fn fallthrough_is_pc_plus_size() {
+        let i = StaticInst::alu(0x40, r(1), &[]);
+        assert_eq!(i.fallthrough, 0x44);
+    }
+
+    #[test]
+    fn branch_carries_target() {
+        let b = StaticInst::cond_branch(0x10, 0x80, &[r(0)]);
+        assert_eq!(b.taken_target, Some(0x80));
+        assert!(b.class.is_conditional());
+    }
+
+    #[test]
+    fn store_has_no_destination() {
+        let s = StaticInst::store(0x20, r(4), r(5));
+        assert_eq!(s.dst, None);
+        assert_eq!(s.source_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many sources")]
+    fn too_many_sources_panics() {
+        let _ = StaticInst::new(0, OpClass::IntAlu, None, &[r(0), r(1), r(2), r(3)]);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_pc() {
+        let i = StaticInst::load(0xdead0, r(1), r(2));
+        let s = i.to_string();
+        assert!(s.contains("0xdead0"));
+        assert!(s.contains("ld"));
+    }
+
+    #[test]
+    fn dyn_outcome_fallthrough_matches_static() {
+        let i = StaticInst::alu(0x100, r(0), &[r(1)]);
+        let o = DynOutcome::fallthrough(&i);
+        assert!(!o.taken);
+        assert_eq!(o.next_pc, i.fallthrough);
+        assert_eq!(o.mem_addr, None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Micro-op ISA model for the ATR out-of-order simulator.
+//!
+//! This crate defines the architectural vocabulary shared by every other
+//! crate in the workspace: architectural registers ([`ArchReg`]), micro-op
+//! classes ([`OpClass`]), static program instructions ([`StaticInst`]) and
+//! dynamic instruction instances ([`DynInst`]) flowing through the pipeline.
+//!
+//! The model follows the paper's x86-like setup: a split scalar-integer /
+//! vector-FP architectural register space (16 + 16 registers, matching the
+//! "32 total for x86" architectural-ID count used by ATR's flush-walk
+//! bookkeeping in §4.2.4), and micro-op classes that distinguish the three
+//! properties ATR cares about at rename time:
+//!
+//! * **conditional / indirect control flow** ([`OpClass::breaks_atomic_region`]),
+//! * **potential exceptions** ([`OpClass::may_raise_exception`]: loads,
+//!   stores, and divisions, per §3.2),
+//! * everything else, which can live inside an *atomic commit region*.
+//!
+//! # Examples
+//!
+//! ```
+//! use atr_isa::{ArchReg, OpClass, StaticInst};
+//!
+//! let add = StaticInst::alu(0x1000, ArchReg::int(1), &[ArchReg::int(2), ArchReg::int(3)]);
+//! assert_eq!(add.class, OpClass::IntAlu);
+//! assert!(!add.class.breaks_atomic_region());
+//!
+//! let load = StaticInst::load(0x1004, ArchReg::int(1), ArchReg::int(2));
+//! assert!(load.class.may_raise_exception());
+//! ```
+
+pub mod inst;
+pub mod op;
+pub mod reg;
+
+pub use inst::{DynInst, DynOutcome, Exception, InstSeq, StaticInst, MAX_SRCS};
+pub use op::{FuKind, OpClass};
+pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS, NUM_FP_ARCH_REGS, NUM_INT_ARCH_REGS};

@@ -1,0 +1,230 @@
+//! Architectural registers.
+//!
+//! The simulated machine has a split register space, mirroring the paper's
+//! baseline (§4.2.1): a scalar integer file and a vector/floating-point
+//! file, each with its own rename table and physical register file. An
+//! [`ArchReg`] is a (class, index) pair; the flat
+//! [`ArchReg::flat_index`] is used by structures that keep one entry per
+//! architectural register ID (e.g. ATR's per-arch-reg `redefined`/`consumed`
+//! bits during the flush walk).
+
+use std::fmt;
+
+/// Number of scalar integer architectural registers (x86-64 GPR count).
+pub const NUM_INT_ARCH_REGS: usize = 16;
+/// Number of vector/floating-point architectural registers.
+pub const NUM_FP_ARCH_REGS: usize = 16;
+/// Total architectural register IDs ("32 total for x86", §4.2.4).
+pub const NUM_ARCH_REGS: usize = NUM_INT_ARCH_REGS + NUM_FP_ARCH_REGS;
+
+/// The class of a register: which physical register file it renames into.
+///
+/// The paper assumes split scalar and vector register files with separate
+/// rename tables; ATR applies identically to both (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Scalar integer registers (64-bit values in the paper's overhead math).
+    Int,
+    /// Vector / floating-point registers (256-bit values).
+    Fp,
+}
+
+impl RegClass {
+    /// Both register classes, in a fixed order.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Fp];
+
+    /// Number of architectural registers in this class.
+    #[must_use]
+    pub fn arch_reg_count(self) -> usize {
+        match self {
+            RegClass::Int => NUM_INT_ARCH_REGS,
+            RegClass::Fp => NUM_FP_ARCH_REGS,
+        }
+    }
+
+    /// Width in bits of one physical register of this class, used by the
+    /// analytical power/area model and the overhead math of §4.4.
+    #[must_use]
+    pub fn bit_width(self) -> u32 {
+        match self {
+            RegClass::Int => 64,
+            RegClass::Fp => 256,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => f.write_str("int"),
+            RegClass::Fp => f.write_str("fp"),
+        }
+    }
+}
+
+/// An architectural register: a class plus an index within that class.
+///
+/// # Examples
+///
+/// ```
+/// use atr_isa::{ArchReg, RegClass};
+///
+/// let rax = ArchReg::int(0);
+/// assert_eq!(rax.class(), RegClass::Int);
+/// assert_eq!(rax.index(), 0);
+/// assert_eq!(ArchReg::fp(3).flat_index(), 16 + 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates a scalar integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_INT_ARCH_REGS`.
+    #[must_use]
+    pub fn int(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_INT_ARCH_REGS,
+            "int register index {index} out of range"
+        );
+        ArchReg { class: RegClass::Int, index }
+    }
+
+    /// Creates a vector/FP register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_FP_ARCH_REGS`.
+    #[must_use]
+    pub fn fp(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_FP_ARCH_REGS,
+            "fp register index {index} out of range"
+        );
+        ArchReg { class: RegClass::Fp, index }
+    }
+
+    /// Creates a register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `class`.
+    #[must_use]
+    pub fn new(class: RegClass, index: u8) -> Self {
+        match class {
+            RegClass::Int => ArchReg::int(index),
+            RegClass::Fp => ArchReg::fp(index),
+        }
+    }
+
+    /// The register class (which physical file this renames into).
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the class.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.index
+    }
+
+    /// Flat index in `0..NUM_ARCH_REGS`, unique across both classes.
+    ///
+    /// Used for per-architectural-register-ID state such as ATR's
+    /// `redefined` / `consumed` flush-walk bits (§4.2.4).
+    #[must_use]
+    pub fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_INT_ARCH_REGS + self.index as usize,
+        }
+    }
+
+    /// Inverse of [`ArchReg::flat_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn from_flat_index(flat: usize) -> Self {
+        assert!(flat < NUM_ARCH_REGS, "flat register index {flat} out of range");
+        if flat < NUM_INT_ARCH_REGS {
+            ArchReg::int(flat as u8)
+        } else {
+            ArchReg::fp((flat - NUM_INT_ARCH_REGS) as u8)
+        }
+    }
+
+    /// Iterator over every architectural register of both classes.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(ArchReg::from_flat_index)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "v{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_roundtrips() {
+        for flat in 0..NUM_ARCH_REGS {
+            let reg = ArchReg::from_flat_index(flat);
+            assert_eq!(reg.flat_index(), flat);
+        }
+    }
+
+    #[test]
+    fn int_and_fp_flat_ranges_are_disjoint() {
+        let int_max = ArchReg::int((NUM_INT_ARCH_REGS - 1) as u8).flat_index();
+        let fp_min = ArchReg::fp(0).flat_index();
+        assert!(int_max < fp_min);
+    }
+
+    #[test]
+    fn all_enumerates_every_register_once() {
+        let regs: Vec<ArchReg> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        let mut seen = [false; NUM_ARCH_REGS];
+        for r in regs {
+            assert!(!seen[r.flat_index()]);
+            seen[r.flat_index()] = true;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = ArchReg::int(NUM_INT_ARCH_REGS as u8);
+    }
+
+    #[test]
+    fn display_names_distinguish_classes() {
+        assert_eq!(ArchReg::int(3).to_string(), "r3");
+        assert_eq!(ArchReg::fp(3).to_string(), "v3");
+    }
+
+    #[test]
+    fn class_metadata() {
+        assert_eq!(RegClass::Int.bit_width(), 64);
+        assert_eq!(RegClass::Fp.bit_width(), 256);
+        assert_eq!(
+            RegClass::Int.arch_reg_count() + RegClass::Fp.arch_reg_count(),
+            NUM_ARCH_REGS
+        );
+    }
+}

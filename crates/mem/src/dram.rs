@@ -1,0 +1,160 @@
+//! DDR4-style DRAM timing model.
+//!
+//! Latency plus per-channel bandwidth: each channel serializes line
+//! transfers, and row-buffer locality gives consecutive accesses to the
+//! same row a latency discount. This captures the two effects the
+//! workload substrate exercises — queueing under bandwidth pressure and
+//! the stream/random latency gap — without a full DRAM command model.
+
+/// DRAM configuration (Table 1: DDR4-3200, 2 channels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Number of channels (addresses interleave by line).
+    pub channels: usize,
+    /// Row-miss (closed-row) access latency in core cycles.
+    pub latency: u64,
+    /// Row-hit discount in core cycles.
+    pub row_hit_discount: u64,
+    /// Core cycles a 64B line transfer occupies its channel.
+    pub cycles_per_line: u64,
+    /// Row size in bytes (for row-hit detection).
+    pub row_bytes: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        // 3 GHz core, DDR4-3200: ~65 ns idle latency ≈ 195 cycles; a 64B
+        // line at 25.6 GB/s/channel ≈ 2.5 ns ≈ 8 core cycles.
+        DramConfig {
+            channels: 2,
+            latency: 195,
+            row_hit_discount: 60,
+            cycles_per_line: 8,
+            row_bytes: 8192,
+        }
+    }
+}
+
+/// The DRAM model. Reads and writes share channel bandwidth.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    next_free: Vec<u64>,
+    open_row: Vec<Option<u64>>,
+    reads: u64,
+    writes: u64,
+    row_hits: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.channels > 0, "need at least one channel");
+        Dram {
+            next_free: vec![0; cfg.channels],
+            open_row: vec![None; cfg.channels],
+            reads: 0,
+            writes: 0,
+            row_hits: 0,
+            cfg,
+        }
+    }
+
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr >> 6) as usize) % self.cfg.channels
+    }
+
+    /// Issues a read arriving at the controller at `cycle`; returns the
+    /// cycle the line is delivered.
+    pub fn read(&mut self, addr: u64, cycle: u64) -> u64 {
+        self.reads += 1;
+        self.service(addr, cycle)
+    }
+
+    /// Issues a writeback; returns the completion cycle (the caller
+    /// normally ignores it, but the bandwidth is charged).
+    pub fn write(&mut self, addr: u64, cycle: u64) -> u64 {
+        self.writes += 1;
+        self.service(addr, cycle)
+    }
+
+    fn service(&mut self, addr: u64, cycle: u64) -> u64 {
+        let ch = self.channel_of(addr);
+        let row = addr / self.cfg.row_bytes;
+        let lat = if self.open_row[ch] == Some(row) {
+            self.row_hits += 1;
+            self.cfg.latency - self.cfg.row_hit_discount
+        } else {
+            self.open_row[ch] = Some(row);
+            self.cfg.latency
+        };
+        // A channel delivers lines in order, one per transfer slot.
+        let done = (cycle + lat).max(self.next_free[ch]);
+        self.next_free[ch] = done + self.cfg.cycles_per_line;
+        done
+    }
+
+    /// (reads, writes, row hits) so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.reads, self.writes, self.row_hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_read_pays_full_latency() {
+        let mut d = Dram::new(DramConfig::default());
+        let done = d.read(0x10000, 1000);
+        assert_eq!(done, 1000 + 195);
+    }
+
+    #[test]
+    fn row_hit_is_faster() {
+        let mut d = Dram::new(DramConfig::default());
+        let a = d.read(0x10000, 0);
+        let b = d.read(0x10040, a); // same 8K row, same channel? check channel
+        // 0x10000>>6 = 0x400 (even ch 0); 0x10040>>6 = 0x401 (ch 1) — use
+        // stride 128 to stay on channel 0.
+        let c = d.read(0x10080, b);
+        assert!(c - b < 195, "row hit should be discounted, got {}", c - b);
+    }
+
+    #[test]
+    fn channel_bandwidth_serializes_bursts() {
+        let cfg = DramConfig { channels: 1, ..DramConfig::default() };
+        let mut d = Dram::new(cfg.clone());
+        // 10 simultaneous requests: completions spread by cycles_per_line.
+        let dones: Vec<u64> = (0..10).map(|i| d.read(i * 64, 0)).collect();
+        for w in dones.windows(2) {
+            assert!(w[1] >= w[0] + cfg.cycles_per_line, "bandwidth must serialize");
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut d = Dram::new(DramConfig { channels: 2, ..DramConfig::default() });
+        let a = d.read(0x0, 0); // channel 0
+        let b = d.read(0x40, 0); // channel 1
+        // Neither waits on the other.
+        assert_eq!(a, 195);
+        assert_eq!(b, 195);
+    }
+
+    #[test]
+    fn writes_consume_bandwidth() {
+        let mut d = Dram::new(DramConfig { channels: 1, ..DramConfig::default() });
+        let _ = d.write(0x0, 0);
+        let r = d.read(0x40, 0);
+        assert!(r > 195, "read behind a write must queue");
+        assert_eq!(d.stats().1, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the memory hierarchy's timing model.
+
+use atr_mem::{AccessKind, MemConfig, MemoryHierarchy, PrefetcherKind};
+use proptest::prelude::*;
+
+fn no_prefetch() -> MemConfig {
+    let mut cfg = MemConfig::golden_cove();
+    cfg.prefetch.kind = PrefetcherKind::None;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn completion_never_precedes_the_request(
+        addrs in prop::collection::vec(0u64..(1 << 28), 1..200),
+    ) {
+        let mut mem = MemoryHierarchy::new(&no_prefetch());
+        let mut cycle = 0u64;
+        for a in addrs {
+            let done = mem.access(AccessKind::Load, a, cycle);
+            prop_assert!(done > cycle, "data cannot arrive at/before the request");
+            // Worst case: full path plus every other in-flight miss
+            // queued ahead of it (DRAM channel bandwidth and MSHR
+            // admission both serialize) — linear in the burst size,
+            // never unbounded.
+            prop_assert!(
+                done <= cycle + 252 + 200 * 18,
+                "latency {} exceeds the physical path plus queueing", done - cycle
+            );
+            cycle += 1;
+        }
+    }
+
+    #[test]
+    fn same_line_reaccess_is_never_slower_than_cold(
+        addr in 0u64..(1 << 28),
+        gap in 1u64..1000,
+    ) {
+        let mut mem = MemoryHierarchy::new(&no_prefetch());
+        let cold = mem.access(AccessKind::Load, addr, 0);
+        let warm_start = cold + gap;
+        let warm = mem.access(AccessKind::Load, addr, warm_start);
+        prop_assert!(warm - warm_start <= cold, "warm access slower than cold");
+    }
+
+    #[test]
+    fn timing_is_deterministic(
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..100),
+    ) {
+        let run = |addrs: &[u64]| -> Vec<u64> {
+            let mut mem = MemoryHierarchy::new(&no_prefetch());
+            addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| mem.access(AccessKind::Load, a, i as u64 * 2))
+                .collect()
+        };
+        prop_assert_eq!(run(&addrs), run(&addrs));
+    }
+
+    #[test]
+    fn stats_accumulate_conservation(
+        addrs in prop::collection::vec(0u64..(1 << 26), 1..300),
+    ) {
+        let mut mem = MemoryHierarchy::new(&no_prefetch());
+        for (i, &a) in addrs.iter().enumerate() {
+            let _ = mem.access(AccessKind::Load, a, i as u64);
+        }
+        let (_, l1d, l2, _llc) = mem.stats();
+        prop_assert_eq!(l1d.accesses(), addrs.len() as u64);
+        // Every L2 demand access stems from an L1D miss.
+        prop_assert!(l2.accesses() <= l1d.misses);
+    }
+}
+
+#[test]
+fn prefetcher_never_slows_a_pure_stream() {
+    let mut with_pf = MemoryHierarchy::new(&MemConfig::golden_cove());
+    let mut without = MemoryHierarchy::new(&no_prefetch());
+    let run = |m: &mut MemoryHierarchy| {
+        let mut t = 0u64;
+        for i in 0..2000u64 {
+            t = m.access(AccessKind::Load, 0x10_0000 + i * 64, t);
+        }
+        t
+    };
+    let a = run(&mut with_pf);
+    let b = run(&mut without);
+    assert!(a <= b, "prefetching a pure stream must not lose: {a} vs {b}");
+}

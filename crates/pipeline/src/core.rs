@@ -1,0 +1,799 @@
+//! The assembled out-of-order core and its cycle loop.
+//!
+//! Stage order within a [`OooCore::tick`] is reverse-pipeline (commit →
+//! precommit → writeback → issue → dispatch → fetch) so state written by
+//! a younger stage is consumed by an older stage in the *next* cycle.
+
+use crate::config::CoreConfig;
+use crate::iq::IssueQueue;
+use crate::lsq::{LoadCheck, Lsq};
+use crate::rob::{Rob, RobEntry, RobState};
+use crate::stats::CoreStats;
+use atr_core::{CheckpointPolicy, RegLifetime, Renamer};
+use atr_frontend::{Bpu, Prediction};
+use atr_isa::{DynInst, FuKind, InstSeq, OpClass, RegClass};
+use atr_mem::{AccessKind, MemoryHierarchy};
+use atr_workload::{synthesize_outcome, Oracle, Program};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How the core services an interrupt (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptMode {
+    /// Option (a): stop fetching and drain the ROB, then service. Needs
+    /// no ATR modifications.
+    Drain,
+    /// Option (b): flush the ROB and re-execute after the handler —
+    /// lower latency, but ATR must first commit past every open atomic
+    /// claim (the §4.1 region counter), since a flushed redefiner's
+    /// already-released register cannot be restored.
+    FlushAtRegionBoundary,
+}
+
+/// A fetched instruction waiting in the frontend pipe for rename.
+#[derive(Debug, Clone)]
+struct Fetched {
+    inst: DynInst,
+    prediction: Option<Prediction>,
+    mispredicted: bool,
+    ready_at: u64,
+}
+
+/// The cycle-level out-of-order core.
+///
+/// Construct with a [`CoreConfig`] and an [`Oracle`], then call
+/// [`OooCore::run`]. See the [crate docs](crate) for the model overview.
+pub struct OooCore {
+    cfg: CoreConfig,
+    cycle: u64,
+    oracle: Oracle,
+    program: Arc<Program>,
+    bpu: Bpu,
+    mem: MemoryHierarchy,
+    renamer: Renamer,
+    rob: Rob,
+    iq: IssueQueue,
+    lsq: Lsq,
+    frontend: VecDeque<Fetched>,
+    // Fetch state.
+    fetch_pc: u64,
+    next_oracle_idx: u64,
+    on_wrong_path: bool,
+    /// Wrong-path fetch ran off the program text; wait for the flush.
+    wrong_path_dead: bool,
+    wp_salt: u64,
+    fetch_stall_until: u64,
+    seq: InstSeq,
+    // Execution state.
+    div_busy_until: u64,
+    stats: CoreStats,
+    last_commit_cycle: u64,
+    pending_interrupt: Option<InterruptMode>,
+}
+
+impl std::fmt::Debug for OooCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OooCore")
+            .field("cycle", &self.cycle)
+            .field("retired", &self.stats.retired)
+            .finish_non_exhaustive()
+    }
+}
+
+impl OooCore {
+    /// Builds a core over `oracle`'s program.
+    #[must_use]
+    pub fn new(cfg: CoreConfig, oracle: Oracle) -> Self {
+        let program = oracle.program().clone();
+        let fetch_pc = program.entry();
+        OooCore {
+            bpu: Bpu::new(&cfg.bpu),
+            mem: MemoryHierarchy::new(&cfg.mem),
+            renamer: Renamer::new(&cfg.rename),
+            rob: Rob::new(cfg.rob_size),
+            iq: IssueQueue::new(cfg.rs_size),
+            lsq: Lsq::new(cfg.load_buffer, cfg.store_buffer),
+            frontend: VecDeque::new(),
+            fetch_pc,
+            next_oracle_idx: 0,
+            on_wrong_path: false,
+            wrong_path_dead: false,
+            wp_salt: program.seed(),
+            fetch_stall_until: 0,
+            seq: 0,
+            div_busy_until: 0,
+            stats: CoreStats::default(),
+            last_commit_cycle: 0,
+            pending_interrupt: None,
+            cycle: 1,
+            oracle,
+            program,
+            cfg,
+        }
+    }
+
+    /// Runs until `max_insts` instructions retire (or the configured
+    /// cycle cap). Returns the accumulated statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no forward progress for 200k cycles
+    /// (a model deadlock — always a bug).
+    pub fn run(&mut self, max_insts: u64) -> CoreStats {
+        let target = self.stats.retired + max_insts;
+        while self.stats.retired < target && self.cycle < self.cfg.max_cycles {
+            self.tick();
+            assert!(
+                self.cycle - self.last_commit_cycle < 200_000,
+                "pipeline deadlock at cycle {}: head={:?}",
+                self.cycle,
+                self.rob.head().map(|e| (e.inst.seq, e.inst.sinst.class, e.state))
+            );
+        }
+        self.snapshot_stats()
+    }
+
+    /// Statistics snapshot including substrate counters.
+    #[must_use]
+    pub fn snapshot_stats(&self) -> CoreStats {
+        let mut s = self.stats.clone();
+        s.cycles = self.cycle;
+        s.int_prf = *self.renamer.prf_stats(RegClass::Int);
+        s.fp_prf = *self.renamer.prf_stats(RegClass::Fp);
+        s.caches = self.mem.stats();
+        s.dram = self.mem.dram_stats();
+        s.markings = self.renamer.markings();
+        s
+    }
+
+    /// The register lifetime log (when the rename config enables it).
+    #[must_use]
+    pub fn lifetime_log(&self) -> &[RegLifetime] {
+        self.renamer.log().records()
+    }
+
+    /// Simulated cycles so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current renamer (occupancy inspection in tests and examples).
+    #[must_use]
+    pub fn renamer(&self) -> &Renamer {
+        &self.renamer
+    }
+
+    /// Requests an interrupt to be serviced with the given mode (§4.1).
+    /// At most one can be pending; a second request is ignored.
+    pub fn request_interrupt(&mut self, mode: InterruptMode) {
+        if self.pending_interrupt.is_none() {
+            self.pending_interrupt = Some(mode);
+        }
+    }
+
+    /// Is an interrupt still waiting to be serviced?
+    #[must_use]
+    pub fn interrupt_pending(&self) -> bool {
+        self.pending_interrupt.is_some()
+    }
+
+    /// Advances the model by one cycle.
+    pub fn tick(&mut self) {
+        self.renamer.tick(self.cycle);
+        self.commit();
+        self.service_interrupt();
+        self.advance_precommit();
+        self.writeback();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.stats.int_prf_occupancy_sum += self.renamer.occupancy(RegClass::Int) as u128;
+        self.stats.fp_prf_occupancy_sum += self.renamer.occupancy(RegClass::Fp) as u128;
+        self.stats.cycles = self.cycle;
+        self.cycle += 1;
+    }
+
+    // ----------------------------------------------------------- fetch
+
+    fn fetch(&mut self) {
+        if self.cycle < self.fetch_stall_until || self.wrong_path_dead {
+            return;
+        }
+        // Drain-mode interrupts stop fetching new instructions (§4.1a).
+        if self.pending_interrupt == Some(InterruptMode::Drain) {
+            return;
+        }
+        let cap = self.cfg.fetch_width * (self.cfg.frontend_depth as usize + 2);
+        let mut taken_targets = 0usize;
+        let mut cur_block = u64::MAX;
+        let mut block_ready = self.cycle;
+
+        for _ in 0..self.cfg.fetch_width {
+            if self.frontend.len() >= cap {
+                break;
+            }
+            // One I-cache access per touched 64 B block.
+            let this_block = self.fetch_pc & !(self.cfg.fetch_block_bytes - 1);
+            if this_block != cur_block {
+                cur_block = this_block;
+                block_ready = self.mem.access(AccessKind::InstFetch, this_block, self.cycle);
+                if block_ready > self.cycle + self.cfg.mem.l1i.latency {
+                    // I-cache miss: resume when the line arrives.
+                    self.fetch_stall_until = block_ready;
+                    break;
+                }
+            }
+
+            // Build the dynamic instance and its prediction.
+            let fetched = if self.on_wrong_path {
+                let Some(sinst) = self.program.at(self.fetch_pc).copied() else {
+                    // Fell off the program text down the wrong path.
+                    self.wrong_path_dead = true;
+                    break;
+                };
+                let prediction = if sinst.class.is_control_flow() {
+                    Some(self.bpu.predict(&sinst))
+                } else {
+                    None
+                };
+                self.wp_salt = self.wp_salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let (ptaken, ptarget) = prediction
+                    .as_ref()
+                    .map_or((false, 0), |p| (p.taken, p.next_pc));
+                let outcome = synthesize_outcome(&sinst, ptaken, ptarget, self.wp_salt);
+                Fetched {
+                    inst: DynInst {
+                        seq: self.seq,
+                        sinst,
+                        outcome,
+                        on_wrong_path: true,
+                        oracle_idx: self.next_oracle_idx,
+                    },
+                    prediction,
+                    mispredicted: false,
+                    ready_at: 0,
+                }
+            } else {
+                let d = *self.oracle.get(self.next_oracle_idx);
+                debug_assert_eq!(
+                    d.sinst.pc, self.fetch_pc,
+                    "on-path fetch diverged from the oracle"
+                );
+                let (prediction, mispredicted) = if d.sinst.class.is_control_flow() {
+                    let p = self.bpu.predict(&d.sinst);
+                    let mis = p.next_pc != d.outcome.next_pc;
+                    (Some(p), mis)
+                } else {
+                    (None, false)
+                };
+                self.next_oracle_idx += 1;
+                Fetched {
+                    inst: DynInst { seq: self.seq, ..d },
+                    prediction,
+                    mispredicted,
+                    ready_at: 0,
+                }
+            };
+            self.seq += 1;
+            self.stats.fetched += 1;
+            if fetched.inst.on_wrong_path {
+                self.stats.wrong_path_fetched += 1;
+            }
+
+            // Fetch follows the prediction; a misprediction sends the
+            // stream down the wrong path until the branch resolves.
+            let next_pc = match &fetched.prediction {
+                Some(p) => p.next_pc,
+                None => fetched.inst.sinst.fallthrough,
+            };
+            let predicted_taken = next_pc != fetched.inst.sinst.fallthrough;
+            let btb_hit = fetched.prediction.as_ref().is_none_or(|p| p.btb_hit);
+            if fetched.mispredicted {
+                self.on_wrong_path = true;
+            }
+            self.fetch_pc = next_pc;
+
+            let ready_at = block_ready.max(self.cycle) + u64::from(self.cfg.frontend_depth);
+            self.frontend.push_back(Fetched { ready_at, ..fetched });
+
+            if predicted_taken {
+                if !btb_hit {
+                    // Taken branch the BTB did not know: fetch bubble.
+                    self.fetch_stall_until = self.cycle + u64::from(self.cfg.btb_miss_bubble);
+                    break;
+                }
+                taken_targets += 1;
+                if taken_targets >= self.cfg.fetch_targets_per_cycle {
+                    break;
+                }
+                cur_block = u64::MAX; // force an access at the target block
+            }
+        }
+    }
+
+    // -------------------------------------------------------- dispatch
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.cfg.rename_width {
+            let Some(front) = self.frontend.front() else { break };
+            if front.ready_at > self.cycle {
+                break;
+            }
+            let class = front.inst.sinst.class;
+            if self.rob.free() == 0
+                || !self.iq.has_space()
+                || (class.is_load() && !self.lsq.has_load_space())
+                || (class.is_store() && !self.lsq.has_store_space())
+            {
+                self.stats.rename_backpressure_stalls += 1;
+                break;
+            }
+            if !self.renamer.can_rename() {
+                self.stats.rename_freelist_stalls += 1;
+                break;
+            }
+            let f = self.frontend.pop_front().expect("checked front");
+            let seq = f.inst.seq;
+            let uop = self
+                .renamer
+                .rename(&f.inst.sinst, seq, self.cycle, f.inst.on_wrong_path);
+            if f.inst.on_wrong_path {
+                self.stats.wrong_path_renamed += 1;
+            }
+            let checkpoint = if self.renamer.checkpoint_policy() == CheckpointPolicy::EveryBranch
+                && (class.is_conditional() || class.has_predicted_target())
+            {
+                Some(self.renamer.take_checkpoint())
+            } else {
+                None
+            };
+            if class.is_load() {
+                self.lsq.push_load(seq);
+            } else if class.is_store() {
+                self.lsq.push_store(seq);
+            }
+            // An eliminated move (§6) allocates nothing and executes
+            // nowhere: it completes at dispatch and skips the issue
+            // queue; its result register is the (already tracked)
+            // source.
+            let eliminated = uop.pdst.is_none() && uop.alias.is_some();
+            if !eliminated {
+                self.iq.insert(seq);
+            }
+            self.rob.push(RobEntry {
+                inst: f.inst,
+                uop,
+                state: if eliminated { RobState::Completed } else { RobState::Dispatched },
+                complete_at: if eliminated { self.cycle } else { 0 },
+                prediction: f.prediction,
+                mispredicted: f.mispredicted,
+                checkpoint,
+                precommitted: false,
+                renamed_at: self.cycle,
+            });
+        }
+    }
+
+    // ----------------------------------------------------------- issue
+
+    fn issue(&mut self) {
+        let mut alu = self.cfg.num_alu;
+        let mut loads = self.cfg.num_load;
+        let mut stores = self.cfg.num_store;
+        let mut issued: Vec<InstSeq> = Vec::new();
+
+        let candidates: Vec<InstSeq> = self.iq.iter_oldest_first().collect();
+        for seq in candidates {
+            if alu == 0 && loads == 0 && stores == 0 {
+                break;
+            }
+            let Some(entry) = self.rob.get(seq) else { continue };
+            let class = entry.inst.sinst.class;
+            let psrcs = entry.uop.psrcs;
+            let mem_addr = entry.inst.outcome.mem_addr;
+            match class.fu_kind() {
+                FuKind::Alu if alu == 0 => continue,
+                FuKind::Load if loads == 0 => continue,
+                FuKind::Store if stores == 0 => continue,
+                _ => {}
+            }
+            if class.is_unpipelined() && self.div_busy_until > self.cycle {
+                continue;
+            }
+            if !psrcs.iter().flatten().all(|p| self.renamer.is_ready(*p)) {
+                continue;
+            }
+
+            let complete_at = match class {
+                OpClass::Load => {
+                    let addr = mem_addr.expect("load without an address");
+                    match self
+                        .lsq
+                        .check_load(seq, addr, !self.cfg.perfect_disambiguation)
+                    {
+                        LoadCheck::Wait => continue,
+                        LoadCheck::Forward { data_ready } => {
+                            loads -= 1;
+                            (self.cycle + 1).max(data_ready) + u64::from(self.cfg.forward_latency)
+                        }
+                        LoadCheck::GoToMemory => {
+                            loads -= 1;
+                            self.mem.access(AccessKind::Load, addr, self.cycle + 1)
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    let addr = mem_addr.expect("store without an address");
+                    stores -= 1;
+                    self.lsq.store_address_ready(seq, addr, self.cycle + 1);
+                    self.cycle + 1
+                }
+                _ => {
+                    alu -= 1;
+                    let done = self.cycle + u64::from(class.exec_latency());
+                    if class.is_unpipelined() {
+                        self.div_busy_until = done;
+                    }
+                    done
+                }
+            };
+
+            let entry = self.rob.get_mut(seq).expect("entry exists");
+            entry.state = RobState::Issued;
+            entry.complete_at = complete_at;
+            self.renamer.on_issue(&psrcs, self.cycle);
+            issued.push(seq);
+        }
+        self.iq.remove(&issued);
+    }
+
+    // ------------------------------------------------------- writeback
+
+    fn writeback(&mut self) {
+        let completing: Vec<InstSeq> = self
+            .rob
+            .iter()
+            .filter(|e| e.state == RobState::Issued && e.complete_at <= self.cycle)
+            .map(|e| e.inst.seq)
+            .collect();
+
+        let mut resolved_mispredict: Option<InstSeq> = None;
+        for seq in completing {
+            let (pdst, is_cf, on_wp, mispredicted) = {
+                let e = self.rob.get_mut(seq).expect("completing entry");
+                e.state = RobState::Completed;
+                (
+                    e.uop.pdst,
+                    e.inst.sinst.class.is_control_flow(),
+                    e.inst.on_wrong_path,
+                    e.mispredicted,
+                )
+            };
+            if let Some(p) = pdst {
+                self.renamer.set_ready(p);
+            }
+            if is_cf && !on_wp {
+                // Train at resolve with the architectural outcome.
+                let e = self.rob.get(seq).expect("entry");
+                let (sinst, taken, target) = (e.inst.sinst, e.inst.taken(), e.inst.next_pc());
+                if let Some(pred) = e.prediction.clone() {
+                    self.bpu.train(&sinst, &pred.snapshot, taken, target);
+                }
+                if mispredicted {
+                    debug_assert!(resolved_mispredict.is_none(), "two live on-path mispredicts");
+                    resolved_mispredict = Some(seq);
+                }
+            }
+        }
+        if let Some(seq) = resolved_mispredict {
+            self.handle_mispredict(seq);
+        }
+    }
+
+    fn handle_mispredict(&mut self, seq: InstSeq) {
+        self.stats.flushes += 1;
+        let (sinst, prediction, checkpoint, taken, target, oracle_idx) = {
+            let e = self.rob.get_mut(seq).expect("mispredicted entry");
+            e.mispredicted = false;
+            (
+                e.inst.sinst,
+                e.prediction.clone().expect("control flow has a prediction"),
+                e.checkpoint.clone(),
+                e.inst.taken(),
+                e.inst.next_pc(),
+                e.inst.oracle_idx,
+            )
+        };
+        if sinst.class.is_conditional() {
+            self.stats.cond_mispredicts += 1;
+        } else {
+            self.stats.target_mispredicts += 1;
+        }
+
+        // Frontend recovery: restore speculative state, re-apply the
+        // corrected outcome.
+        self.bpu.recover(&sinst, &prediction.snapshot, taken, target);
+
+        // Backend recovery: squash, walk, restore the SRT.
+        let squashed = self.rob.squash_younger(seq);
+        let records: Vec<atr_core::FlushRecord> = squashed
+            .iter()
+            .map(|e| e.uop.flush_record(&e.inst.sinst, e.issued()))
+            .collect();
+        self.renamer.flush_walk(&records, self.cycle);
+        match checkpoint {
+            Some(cp) => self.renamer.restore_checkpoint(&cp),
+            None => {
+                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> = self
+                    .rob
+                    .iter()
+                    .filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?)))
+                    .collect();
+                self.renamer.restore_from_committed(survivors.into_iter());
+            }
+        }
+        self.iq.squash_younger(seq);
+        self.lsq.squash_younger(seq);
+        self.frontend.clear();
+
+        // Redirect fetch to the architectural path.
+        self.on_wrong_path = false;
+        self.wrong_path_dead = false;
+        self.next_oracle_idx = oracle_idx + 1;
+        self.fetch_pc = target;
+        self.fetch_stall_until = self.cycle + u64::from(self.cfg.redirect_penalty);
+    }
+
+    // ------------------------------------------------------- precommit
+
+    /// Advances the precommit pointer (§2.3): an instruction precommits
+    /// once every older branch is resolved and every older
+    /// exception-capable instruction is known safe.
+    fn advance_precommit(&mut self) {
+        let mut passed: Vec<InstSeq> = Vec::new();
+        let head_seq = match self.rob.head() {
+            Some(h) => h.inst.seq,
+            None => return,
+        };
+        for e in self.rob.iter() {
+            if e.precommitted {
+                continue;
+            }
+            // Bounded confirmation-tracking hardware: the pointer can
+            // only run `precommit_lead` instructions past the head.
+            if e.inst.seq.saturating_sub(head_seq) > self.cfg.precommit_lead as u64 {
+                break;
+            }
+            let safe = match e.inst.sinst.class {
+                OpClass::CondBranch | OpClass::IndirectJump | OpClass::Return => {
+                    e.completed() && !e.mispredicted
+                }
+                // §3.1: loads/stores must be "guaranteed not to cause
+                // an exception" — i.e. their address is generated and
+                // translated. The paper's own Fig 5 shows the load I1
+                // precommitting at its execute time (675), not at data
+                // return (839), so issue/AGU is the gate.
+                OpClass::Load | OpClass::Store => {
+                    e.issued() && e.inst.outcome.exception.is_none()
+                }
+                OpClass::IntDiv | OpClass::FpDiv => {
+                    e.completed() && e.inst.outcome.exception.is_none()
+                }
+                _ => true,
+            };
+            if !safe {
+                break;
+            }
+            debug_assert!(
+                !e.inst.on_wrong_path,
+                "wrong-path instruction precommitting: seq {} class {:?}",
+                e.inst.seq, e.inst.sinst.class
+            );
+            passed.push(e.inst.seq);
+        }
+        for seq in passed {
+            let e = self.rob.get_mut(seq).expect("passed entry");
+            e.precommitted = true;
+            let mut uop = e.uop;
+            self.renamer.on_precommit(&mut uop, self.cycle);
+            self.rob.get_mut(seq).expect("passed entry").uop = uop;
+        }
+    }
+
+    // ---------------------------------------------------------- commit
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.retire_width {
+            let Some(head) = self.rob.head() else { break };
+            if head.inst.outcome.exception.is_some() {
+                if head.completed() {
+                    self.handle_exception();
+                }
+                break;
+            }
+            if !head.completed() || !head.precommitted {
+                break;
+            }
+            assert!(
+                !head.inst.on_wrong_path,
+                "committing a wrong-path instruction: seq {} pc {:#x} class {:?} oracle_idx {} precommitted {}",
+                head.inst.seq, head.inst.sinst.pc, head.inst.sinst.class, head.inst.oracle_idx, head.precommitted
+            );
+
+            let head = self.rob.pop_head().expect("head exists");
+            let seq = head.inst.seq;
+            match head.inst.sinst.class {
+                OpClass::Load => self.lsq.retire_load(seq),
+                OpClass::Store => {
+                    // Stores write the cache after commit (drain from the
+                    // store buffer); bandwidth is charged, commit is not
+                    // stalled.
+                    let addr = head.inst.outcome.mem_addr.expect("store address");
+                    let _ = self.mem.access(AccessKind::Store, addr, self.cycle);
+                    self.lsq.retire_store(seq);
+                }
+                OpClass::CondBranch => self.stats.cond_branches += 1,
+                _ => {}
+            }
+            self.renamer.on_commit(&head.uop, self.cycle);
+            self.stats.retired += 1;
+            self.last_commit_cycle = self.cycle;
+            if self.stats.retired.is_multiple_of(4096) {
+                self.oracle.release_before(head.inst.oracle_idx);
+            }
+        }
+    }
+
+    /// Services a pending interrupt when its mode's condition is met.
+    fn service_interrupt(&mut self) {
+        let Some(mode) = self.pending_interrupt else { return };
+        match mode {
+            InterruptMode::Drain => {
+                // Fetch is stopped; wait for the ROB and frontend pipe
+                // to drain, then run the handler.
+                if self.rob.is_empty() && self.frontend.is_empty() {
+                    self.pending_interrupt = None;
+                    self.stats.interrupts += 1;
+                    self.fetch_stall_until = self.cycle + u64::from(self.cfg.exception_penalty);
+                    self.last_commit_cycle = self.cycle;
+                }
+            }
+            InterruptMode::FlushAtRegionBoundary => {
+                // §4.1b: wait until no atomic claim spans the flush
+                // point, then flush the *unprecommitted* tail of the ROB
+                // and re-execute it after the handler. Precommitted
+                // instructions are past the point of no return — their
+                // previous registers may already be ER-released — so
+                // the flush point is the precommit pointer, and in the
+                // unlikely worst case the interrupt fully drains the
+                // ROB first.
+                if self.renamer.open_atr_claims() > 0 {
+                    self.stats.interrupt_wait_cycles += 1;
+                    return;
+                }
+                let newest_precommitted = self
+                    .rob
+                    .iter()
+                    .take_while(|e| e.precommitted)
+                    .last()
+                    .map(|e| e.inst.seq);
+                let squashed = match newest_precommitted {
+                    Some(seq) => self.rob.squash_younger(seq),
+                    None => self.rob.squash_all(),
+                };
+                if squashed.is_empty() && !self.rob.is_empty() {
+                    // Everything in flight is precommitted: let commit
+                    // drain it and retry.
+                    self.stats.interrupt_wait_cycles += 1;
+                    return;
+                }
+                // Resume at the oldest discarded architectural
+                // instruction — it may sit in the squashed ROB suffix
+                // or still in the frontend pipe (e.g. an unresolved
+                // mispredicted branch that never renamed); with nothing
+                // architectural discarded anywhere, the fetch cursor's
+                // oracle index is the continuation.
+                let resume_idx = squashed
+                    .iter()
+                    .rev()
+                    .find(|e| !e.inst.on_wrong_path)
+                    .map(|e| e.inst.oracle_idx)
+                    .or_else(|| {
+                        self.frontend
+                            .iter()
+                            .find(|f| !f.inst.on_wrong_path)
+                            .map(|f| f.inst.oracle_idx)
+                    })
+                    .unwrap_or(self.next_oracle_idx);
+                self.pending_interrupt = None;
+                self.stats.interrupts += 1;
+
+                let records: Vec<atr_core::FlushRecord> = squashed
+                    .iter()
+                    .map(|e| e.uop.flush_record(&e.inst.sinst, e.issued()))
+                    .collect();
+                self.renamer.flush_walk(&records, self.cycle);
+                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> = self
+                    .rob
+                    .iter()
+                    .filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?)))
+                    .collect();
+                self.renamer.restore_from_committed(survivors.into_iter());
+                if let Some(p) = squashed.iter().rev().find_map(|e| e.prediction.as_ref()) {
+                    self.bpu.restore(&p.snapshot);
+                }
+                match newest_precommitted {
+                    Some(seq) => {
+                        self.iq.squash_younger(seq);
+                        self.lsq.squash_younger(seq);
+                    }
+                    None => {
+                        self.iq.clear();
+                        self.lsq.clear();
+                    }
+                }
+                self.frontend.clear();
+                self.on_wrong_path = false;
+                self.wrong_path_dead = false;
+                self.next_oracle_idx = resume_idx;
+                self.fetch_pc = self.oracle.get(resume_idx).sinst.pc;
+                self.fetch_stall_until = self.cycle + u64::from(self.cfg.exception_penalty);
+                self.last_commit_cycle = self.cycle;
+            }
+        }
+    }
+
+    fn handle_exception(&mut self) {
+        self.stats.exceptions += 1;
+        let squashed = self.rob.squash_all();
+        let oldest = squashed.last().expect("exception implies a head entry");
+        let (resume_idx, resume_pc) = (oldest.inst.oracle_idx, oldest.inst.sinst.pc);
+
+        let records: Vec<atr_core::FlushRecord> = squashed
+            .iter()
+            .map(|e| e.uop.flush_record(&e.inst.sinst, e.issued()))
+            .collect();
+        self.renamer.flush_walk(&records, self.cycle);
+        self.renamer.restore_from_committed(std::iter::empty());
+
+        // Rewind the frontend's speculative state to before the oldest
+        // squashed prediction; if none was made, the histories contain
+        // only committed outcomes and are already consistent.
+        if let Some(e) = squashed.iter().rev().find_map(|e| e.prediction.as_ref()) {
+            self.bpu.restore(&e.snapshot);
+        }
+        self.iq.clear();
+        self.lsq.clear();
+        self.frontend.clear();
+
+        // Service the fault, then re-execute from the faulting
+        // instruction (its injected exception is now resolved).
+        self.oracle.clear_exception(resume_idx);
+        self.on_wrong_path = false;
+        self.wrong_path_dead = false;
+        self.next_oracle_idx = resume_idx;
+        self.fetch_pc = resume_pc;
+        self.fetch_stall_until = self.cycle + u64::from(self.cfg.exception_penalty);
+        self.last_commit_cycle = self.cycle;
+    }
+}
+
+/// A program is driven through a fresh core; convenience for tests,
+/// examples, and the experiment harness.
+///
+/// # Examples
+///
+/// ```
+/// use atr_pipeline::{run_program, CoreConfig};
+/// use atr_workload::ProfileParams;
+///
+/// let program = ProfileParams { seed: 7, ..ProfileParams::default() }.build();
+/// let stats = run_program(&CoreConfig::default(), program, 10_000);
+/// assert!(stats.retired >= 10_000);
+/// ```
+#[must_use]
+pub fn run_program(cfg: &CoreConfig, program: Arc<Program>, max_insts: u64) -> CoreStats {
+    let mut core = OooCore::new(cfg.clone(), Oracle::new(program));
+    core.run(max_insts)
+}

@@ -1,0 +1,123 @@
+//! The reservation station (issue queue).
+
+use atr_isa::InstSeq;
+
+/// A bounded, age-ordered reservation station holding the sequence
+/// numbers of dispatched-but-unissued instructions. Readiness is
+/// evaluated by the core (it owns the scoreboard); the IQ provides
+/// capacity and oldest-first selection.
+#[derive(Debug, Default)]
+pub struct IssueQueue {
+    seqs: Vec<InstSeq>,
+    capacity: usize,
+}
+
+impl IssueQueue {
+    /// Creates an issue queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "issue queue capacity must be non-zero");
+        IssueQueue { seqs: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Occupied entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Is there room for another entry?
+    #[must_use]
+    pub fn has_space(&self) -> bool {
+        self.seqs.len() < self.capacity
+    }
+
+    /// Inserts a dispatched instruction (must be youngest).
+    ///
+    /// # Panics
+    ///
+    /// Panics when full or out of age order.
+    pub fn insert(&mut self, seq: InstSeq) {
+        assert!(self.has_space(), "issue queue overflow");
+        if let Some(&last) = self.seqs.last() {
+            assert!(seq > last, "issue queue entries must be age-ordered");
+        }
+        self.seqs.push(seq);
+    }
+
+    /// Iterates entries oldest → youngest (selection order).
+    pub fn iter_oldest_first(&self) -> impl Iterator<Item = InstSeq> + '_ {
+        self.seqs.iter().copied()
+    }
+
+    /// Removes the given entries (after issue). `issued` need not be
+    /// sorted.
+    pub fn remove(&mut self, issued: &[InstSeq]) {
+        self.seqs.retain(|s| !issued.contains(s));
+    }
+
+    /// Removes every entry younger than `seq` (flush).
+    pub fn squash_younger(&mut self, seq: InstSeq) {
+        self.seqs.retain(|&s| s <= seq);
+    }
+
+    /// Removes all entries (exception flush).
+    pub fn clear(&mut self) {
+        self.seqs.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_first_iteration() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(3);
+        iq.insert(7);
+        iq.insert(9);
+        let order: Vec<u64> = iq.iter_oldest_first().collect();
+        assert_eq!(order, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn remove_and_capacity() {
+        let mut iq = IssueQueue::new(2);
+        iq.insert(1);
+        iq.insert(2);
+        assert!(!iq.has_space());
+        iq.remove(&[1]);
+        assert!(iq.has_space());
+        assert_eq!(iq.len(), 1);
+    }
+
+    #[test]
+    fn squash_younger_drops_tail() {
+        let mut iq = IssueQueue::new(8);
+        for s in [1, 2, 5, 8, 9] {
+            iq.insert(s);
+        }
+        iq.squash_younger(5);
+        let left: Vec<u64> = iq.iter_oldest_first().collect();
+        assert_eq!(left, vec![1, 2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut iq = IssueQueue::new(1);
+        iq.insert(1);
+        iq.insert(2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Aggregate pipeline statistics.
+
+use atr_core::PrfStats;
+use atr_mem::CacheStats;
+
+/// Counters collected over one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions.
+    pub retired: u64,
+    /// Instructions fetched, including wrong-path.
+    pub fetched: u64,
+    /// Wrong-path instructions fetched.
+    pub wrong_path_fetched: u64,
+    /// Wrong-path instructions renamed (these allocate registers).
+    pub wrong_path_renamed: u64,
+    /// Conditional branches retired.
+    pub cond_branches: u64,
+    /// Conditional direction mispredictions (resolved, on-path).
+    pub cond_mispredicts: u64,
+    /// Indirect/return target mispredictions.
+    pub target_mispredicts: u64,
+    /// Pipeline flushes from branch mispredictions.
+    pub flushes: u64,
+    /// Precise exceptions serviced.
+    pub exceptions: u64,
+    /// Interrupts serviced (§4.1 extension).
+    pub interrupts: u64,
+    /// Cycles a flush-mode interrupt waited for open atomic claims.
+    pub interrupt_wait_cycles: u64,
+    /// Cycles rename stalled because a free list was at its watermark.
+    pub rename_freelist_stalls: u64,
+    /// Cycles rename stalled for ROB/RS/LQ/SQ space.
+    pub rename_backpressure_stalls: u64,
+    /// Σ over cycles of allocated integer physical registers.
+    pub int_prf_occupancy_sum: u128,
+    /// Σ over cycles of allocated FP physical registers.
+    pub fp_prf_occupancy_sum: u128,
+    /// Integer PRF release breakdown.
+    pub int_prf: PrfStats,
+    /// FP PRF release breakdown.
+    pub fp_prf: PrfStats,
+    /// L1I / L1D / L2 / LLC statistics.
+    pub caches: (CacheStats, CacheStats, CacheStats, CacheStats),
+    /// DRAM (reads, writes, row hits).
+    pub dram: (u64, u64, u64),
+    /// Bulk no-early-release marking operations (ATR, §4.2.2).
+    pub markings: u64,
+}
+
+impl CoreStats {
+    /// Retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Conditional branch misprediction rate (per retired branch).
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+
+    /// Mispredictions per kilo-instruction.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            (self.cond_mispredicts + self.target_mispredicts) as f64 * 1000.0 / self.retired as f64
+        }
+    }
+
+    /// Mean allocated integer physical registers per cycle.
+    #[must_use]
+    pub fn avg_int_prf_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.int_prf_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean allocated FP physical registers per cycle.
+    #[must_use]
+    pub fn avg_fp_prf_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.fp_prf_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = CoreStats {
+            cycles: 100,
+            retired: 250,
+            cond_branches: 50,
+            cond_mispredicts: 5,
+            target_mispredicts: 5,
+            int_prf_occupancy_sum: 3200,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert!((s.mpki() - 40.0).abs() < 1e-12);
+        assert!((s.avg_int_prf_occupancy() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_not_a_division_error() {
+        let s = CoreStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Top-level simulation configuration (Table 1).
+
+use atr_pipeline::CoreConfig;
+
+/// A full simulation configuration: the core plus measurement windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Pipeline/memory/frontend/rename configuration.
+    pub core: CoreConfig,
+    /// Instructions to warm structures before measuring.
+    pub warmup: u64,
+    /// Instructions in the measured window.
+    pub measure: u64,
+}
+
+impl SimConfig {
+    /// The paper's Golden-Cove-like configuration (Table 1) with the
+    /// environment-controlled measurement budget.
+    #[must_use]
+    pub fn golden_cove() -> Self {
+        let (warmup, measure) = budget_from_env();
+        SimConfig { core: CoreConfig::default(), warmup, measure }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::golden_cove()
+    }
+}
+
+/// Reads the measurement budget from `ATR_SIM_WARMUP` / `ATR_SIM_INSTS`,
+/// defaulting to a quick 40k/160k pass (the paper simulates 10M-weighted
+/// simpoints; scale up for full runs).
+#[must_use]
+pub fn budget_from_env() -> (u64, u64) {
+    let warmup = std::env::var("ATR_SIM_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40_000);
+    let measure = std::env::var("ATR_SIM_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(160_000);
+    (warmup, measure)
+}
+
+/// Renders the Table 1 parameter table from the live configuration, so
+/// the printed table cannot drift from the simulated one.
+#[must_use]
+pub fn table1(cfg: &CoreConfig) -> Vec<(String, String)> {
+    let mem = &cfg.mem;
+    let mut rows = vec![
+        ("CPU".to_owned(), "Golden Cove-like (simulated)".to_owned()),
+        (
+            "Frontend width and retirement".to_owned(),
+            format!("{}-wide fetch/decode, {}-wide retirement", cfg.fetch_width, cfg.retire_width),
+        ),
+        (
+            "Functional Units".to_owned(),
+            format!("{} ALU, {} Load, {} Store", cfg.num_alu, cfg.num_load, cfg.num_store),
+        ),
+        ("Branch Predictor".to_owned(), "TAGE-L (TAGE-SC-L-class) + BTB + ITB + RAS".to_owned()),
+        ("Branch Target Buffer (BTB)".to_owned(), format!("{} entries", cfg.bpu.btb_entries)),
+        (
+            "Indirect Branch Target Buffer".to_owned(),
+            format!("{} entries", 1usize << cfg.bpu.indirect_bits),
+        ),
+        ("ROB".to_owned(), format!("{} entries", cfg.rob_size)),
+        ("Reservation Station".to_owned(), format!("{} entries", cfg.rs_size)),
+        ("Load Buffer".to_owned(), format!("{} entries", cfg.load_buffer)),
+        ("Store Buffer".to_owned(), format!("{} entries", cfg.store_buffer)),
+        (
+            "Frontend Fetch targets (FT) per cycle".to_owned(),
+            format!("{}", cfg.fetch_targets_per_cycle),
+        ),
+        ("FT block size".to_owned(), format!("{} B", cfg.fetch_block_bytes)),
+    ];
+    let kib = |b: usize| format!("{} KiB", b >> 10);
+    rows.push(("L1 instruction cache".to_owned(), format!("{}, {}-way", kib(mem.l1i.size_bytes), mem.l1i.ways)));
+    rows.push(("L1 data cache".to_owned(), format!("{}, {}-way", kib(mem.l1d.size_bytes), mem.l1d.ways)));
+    rows.push(("L2 unified cache".to_owned(), format!("{}, {}-way", kib(mem.l2.size_bytes), mem.l2.ways)));
+    rows.push(("LLC unified cache".to_owned(), format!("{}, {}-way", kib(mem.llc.size_bytes), mem.llc.ways)));
+    rows.push(("L1 D-cache latency".to_owned(), format!("{} cycles", mem.l1d.latency)));
+    rows.push(("L1 I-cache latency".to_owned(), format!("{} cycles", mem.l1i.latency)));
+    rows.push(("L2 latency".to_owned(), format!("{} cycles", mem.l2.latency)));
+    rows.push(("LLC latency".to_owned(), format!("{} cycles", mem.llc.latency)));
+    rows.push((
+        "Memory".to_owned(),
+        format!("DDR4-3200-like ({} channels)", mem.dram.channels),
+    ));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reflects_the_live_config() {
+        let cfg = CoreConfig::default();
+        let rows = table1(&cfg);
+        let find = |k: &str| {
+            rows.iter()
+                .find(|(key, _)| key.contains(k))
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(find("ROB"), "512 entries");
+        assert_eq!(find("Reservation"), "160 entries");
+        assert!(find("Functional").contains("5 ALU"));
+        assert!(find("L1 data").contains("48 KiB"));
+        assert!(find("L2 unified").contains("1280 KiB"));
+    }
+
+    #[test]
+    fn golden_cove_uses_env_budget() {
+        let cfg = SimConfig::golden_cove();
+        assert!(cfg.warmup > 0 && cfg.measure > 0);
+    }
+}

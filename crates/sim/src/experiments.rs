@@ -1,0 +1,622 @@
+//! One function per evaluation artifact (figure) of the paper.
+//!
+//! Every function returns plain serializable rows; the `atr-bench`
+//! binaries print them (and `report::render_table` formats them as
+//! aligned tables). Budgets come from the [`SimConfig`] argument, which
+//! `SimConfig::golden_cove()` populates from the `ATR_SIM_WARMUP` /
+//! `ATR_SIM_INSTS` environment variables.
+
+use crate::config::SimConfig;
+use crate::runner::{geomean, run_profile, RunSpec};
+use atr_core::ReleaseScheme;
+use atr_workload::spec::{all_profiles, spec2017_fp, spec2017_int, SpecProfile, WorkloadClass};
+use serde::Serialize;
+
+/// RF sizes swept by Fig 1 / Fig 11 (the paper's 64…280 plus a
+/// practically infinite point for normalization).
+pub const RF_SWEEP: [usize; 8] = [64, 96, 128, 160, 192, 224, 256, 280];
+/// "Infinite" register file used as the normalization baseline.
+pub const RF_INFINITE: usize = 2048;
+
+fn spec_of(sim: &SimConfig, scheme: ReleaseScheme, rf: usize) -> RunSpec {
+    RunSpec {
+        scheme,
+        rf_size: rf,
+        warmup: sim.warmup,
+        measure: sim.measure,
+        collect_events: false,
+    }
+}
+
+fn class_of(p: &SpecProfile) -> &'static str {
+    match p.class {
+        WorkloadClass::Int => "int",
+        WorkloadClass::Fp => "fp",
+    }
+}
+
+// ------------------------------------------------------------- Fig 1
+
+/// One point of Fig 1: baseline IPC at a given RF size, normalized to
+/// the infinite-RF IPC of the same benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig01Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Physical register file size.
+    pub rf_size: usize,
+    /// IPC / IPC(infinite registers).
+    pub normalized_ipc: f64,
+}
+
+/// Fig 1: normalized baseline IPC across register file sizes
+/// (SPEC2017int).
+#[must_use]
+pub fn fig01(sim: &SimConfig) -> Vec<Fig01Row> {
+    let mut rows = Vec::new();
+    for p in spec2017_int() {
+        let ideal = run_profile(&sim.core, &p, &spec_of(sim, ReleaseScheme::Baseline, RF_INFINITE)).ipc;
+        for &rf in &RF_SWEEP {
+            let ipc = run_profile(&sim.core, &p, &spec_of(sim, ReleaseScheme::Baseline, rf)).ipc;
+            rows.push(Fig01Row {
+                benchmark: p.name.to_owned(),
+                rf_size: rf,
+                normalized_ipc: ipc / ideal.max(1e-9),
+            });
+        }
+        rows.push(Fig01Row {
+            benchmark: p.name.to_owned(),
+            rf_size: RF_INFINITE,
+            normalized_ipc: 1.0,
+        });
+    }
+    rows
+}
+
+/// Average of Fig 1 rows at one RF size.
+#[must_use]
+pub fn fig01_average(rows: &[Fig01Row], rf: usize) -> f64 {
+    geomean(rows.iter().filter(|r| r.rf_size == rf).map(|r| r.normalized_ipc))
+}
+
+// ------------------------------------------------------------- Fig 4
+
+/// One suite's lifecycle breakdown (Fig 4).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig04Row {
+    /// Benchmark (or suite-average) name.
+    pub benchmark: String,
+    /// Suite ("int"/"fp").
+    pub class: String,
+    /// Fraction of register-lifetime cycles in use.
+    pub in_use: f64,
+    /// Fraction unused (speculative-release opportunity).
+    pub unused: f64,
+    /// Fraction verified-unused (non-speculative opportunity).
+    pub verified_unused: f64,
+}
+
+/// Fig 4: register lifecycle cycle distribution under the baseline
+/// scheme, per benchmark plus suite averages.
+#[must_use]
+pub fn fig04(sim: &SimConfig) -> Vec<Fig04Row> {
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
+        let r = run_profile(&sim.core, &p, &spec);
+        let reg_class = match p.class {
+            WorkloadClass::Int => atr_isa::RegClass::Int,
+            WorkloadClass::Fp => atr_isa::RegClass::Fp,
+        };
+        let b = atr_analysis::lifecycle_breakdown(&r.lifetimes, reg_class);
+        rows.push(Fig04Row {
+            benchmark: p.name.to_owned(),
+            class: class_of(&p).to_owned(),
+            in_use: b.in_use,
+            unused: b.unused,
+            verified_unused: b.verified_unused,
+        });
+    }
+    for class in ["int", "fp"] {
+        let members: Vec<&Fig04Row> = rows.iter().filter(|r| r.class == class).collect();
+        let n = members.len().max(1) as f64;
+        let avg = Fig04Row {
+            benchmark: format!("average-{class}"),
+            class: class.to_owned(),
+            in_use: members.iter().map(|r| r.in_use).sum::<f64>() / n,
+            unused: members.iter().map(|r| r.unused).sum::<f64>() / n,
+            verified_unused: members.iter().map(|r| r.verified_unused).sum::<f64>() / n,
+        };
+        rows.push(avg);
+    }
+    rows
+}
+
+// ------------------------------------------------------------- Fig 6
+
+/// One benchmark's region ratios (Fig 6).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig06Row {
+    /// Benchmark (or suite-average) name.
+    pub benchmark: String,
+    /// Suite ("int"/"fp").
+    pub class: String,
+    /// Fraction of allocations in non-branch regions.
+    pub non_branch: f64,
+    /// Fraction in non-except regions.
+    pub non_except: f64,
+    /// Fraction in atomic commit regions.
+    pub atomic: f64,
+}
+
+/// Fig 6: atomic register ratios per benchmark plus suite averages.
+#[must_use]
+pub fn fig06(sim: &SimConfig) -> Vec<Fig06Row> {
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
+        let r = run_profile(&sim.core, &p, &spec);
+        let reg_class = match p.class {
+            WorkloadClass::Int => atr_isa::RegClass::Int,
+            WorkloadClass::Fp => atr_isa::RegClass::Fp,
+        };
+        let ratios = atr_analysis::region_ratios(&r.lifetimes, reg_class, true);
+        rows.push(Fig06Row {
+            benchmark: p.name.to_owned(),
+            class: class_of(&p).to_owned(),
+            non_branch: ratios.non_branch,
+            non_except: ratios.non_except,
+            atomic: ratios.atomic,
+        });
+    }
+    for class in ["int", "fp"] {
+        let members: Vec<&Fig06Row> = rows.iter().filter(|r| r.class == class).collect();
+        let n = members.len().max(1) as f64;
+        rows.push(Fig06Row {
+            benchmark: format!("average-{class}"),
+            class: class.to_owned(),
+            non_branch: members.iter().map(|r| r.non_branch).sum::<f64>() / n,
+            non_except: members.iter().map(|r| r.non_except).sum::<f64>() / n,
+            atomic: members.iter().map(|r| r.atomic).sum::<f64>() / n,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Fig 10
+
+/// One benchmark × RF size × scheme speedup (Fig 10).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Row {
+    /// Benchmark (or suite-average) name.
+    pub benchmark: String,
+    /// Suite ("int"/"fp").
+    pub class: String,
+    /// Register file size (64 or 224 in the paper).
+    pub rf_size: usize,
+    /// Scheme label ("nonspec-ER"/"atomic"/"combined").
+    pub scheme: String,
+    /// IPC / IPC(baseline at the same RF size).
+    pub speedup: f64,
+}
+
+/// Fig 10: speedup of each early-release scheme over the baseline at 64
+/// and 224 physical registers.
+#[must_use]
+pub fn fig10(sim: &SimConfig) -> Vec<Fig10Row> {
+    fig10_at(sim, &[64, 224])
+}
+
+/// Fig 10 at caller-chosen RF sizes.
+#[must_use]
+pub fn fig10_at(sim: &SimConfig, rf_sizes: &[usize]) -> Vec<Fig10Row> {
+    let schemes = [
+        ReleaseScheme::NonSpecEr,
+        ReleaseScheme::Atr { redefine_delay: 0 },
+        ReleaseScheme::Combined { redefine_delay: 0 },
+    ];
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        for &rf in rf_sizes {
+            let baseline = run_profile(&sim.core, &p, &spec_of(sim, ReleaseScheme::Baseline, rf)).ipc;
+            for scheme in schemes {
+                let ipc = run_profile(&sim.core, &p, &spec_of(sim, scheme, rf)).ipc;
+                rows.push(Fig10Row {
+                    benchmark: p.name.to_owned(),
+                    class: class_of(&p).to_owned(),
+                    rf_size: rf,
+                    scheme: scheme.label().to_owned(),
+                    speedup: ipc / baseline.max(1e-9),
+                });
+            }
+        }
+    }
+    // Suite averages.
+    let mut averages = Vec::new();
+    for class in ["int", "fp"] {
+        for &rf in rf_sizes {
+            for scheme in schemes {
+                let member_speedups: Vec<f64> = rows
+                    .iter()
+                    .filter(|r| r.class == class && r.rf_size == rf && r.scheme == scheme.label())
+                    .map(|r| r.speedup)
+                    .collect();
+                averages.push(Fig10Row {
+                    benchmark: format!("average-{class}"),
+                    class: class.to_owned(),
+                    rf_size: rf,
+                    scheme: scheme.label().to_owned(),
+                    speedup: geomean(member_speedups),
+                });
+            }
+        }
+    }
+    rows.extend(averages);
+    rows
+}
+
+// ------------------------------------------------------------ Fig 11
+
+/// One suite-average point of Fig 11.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Row {
+    /// Suite ("int"/"fp").
+    pub class: String,
+    /// Register file size.
+    pub rf_size: usize,
+    /// Geomean speedup of the atomic scheme over the baseline.
+    pub speedup: f64,
+}
+
+/// Fig 11: atomic-scheme speedup over the baseline across RF sizes.
+#[must_use]
+pub fn fig11(sim: &SimConfig) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for (class, profiles) in [("int", spec2017_int()), ("fp", spec2017_fp())] {
+        for &rf in &RF_SWEEP {
+            let mut speedups = Vec::new();
+            for p in &profiles {
+                let b = run_profile(&sim.core, p, &spec_of(sim, ReleaseScheme::Baseline, rf)).ipc;
+                let a = run_profile(
+                    &sim.core,
+                    p,
+                    &spec_of(sim, ReleaseScheme::Atr { redefine_delay: 0 }, rf),
+                )
+                .ipc;
+                speedups.push(a / b.max(1e-9));
+            }
+            rows.push(Fig11Row { class: class.to_owned(), rf_size: rf, speedup: geomean(speedups) });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Fig 12
+
+/// One benchmark's consumer distribution (Fig 12).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig12Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Suite ("int"/"fp").
+    pub class: String,
+    /// Fraction of atomic regions per consumer count (last bucket ≥7).
+    pub buckets: Vec<f64>,
+    /// Mean consumers per atomic region.
+    pub mean: f64,
+}
+
+/// Fig 12: consumers per atomic region, per benchmark.
+#[must_use]
+pub fn fig12(sim: &SimConfig) -> Vec<Fig12Row> {
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
+        let r = run_profile(&sim.core, &p, &spec);
+        let reg_class = match p.class {
+            WorkloadClass::Int => atr_isa::RegClass::Int,
+            WorkloadClass::Fp => atr_isa::RegClass::Fp,
+        };
+        let h = atr_analysis::consumer_histogram(&r.lifetimes, reg_class, 7);
+        rows.push(Fig12Row {
+            benchmark: p.name.to_owned(),
+            class: class_of(&p).to_owned(),
+            buckets: h.buckets,
+            mean: h.mean,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Fig 13
+
+/// One suite × delay point of Fig 13.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig13Row {
+    /// Suite ("int"/"fp").
+    pub class: String,
+    /// Redefine-pipeline delay in cycles.
+    pub delay: u32,
+    /// Geomean speedup of the (delayed) atomic scheme over the baseline
+    /// at 64 registers.
+    pub speedup: f64,
+}
+
+/// Fig 13: sensitivity of the atomic scheme to pipelining the marking
+/// logic by 0/1/2 cycles.
+#[must_use]
+pub fn fig13(sim: &SimConfig) -> Vec<Fig13Row> {
+    let mut rows = Vec::new();
+    for (class, profiles) in [("int", spec2017_int()), ("fp", spec2017_fp())] {
+        for delay in [0u32, 1, 2] {
+            let mut speedups = Vec::new();
+            for p in &profiles {
+                let b = run_profile(&sim.core, p, &spec_of(sim, ReleaseScheme::Baseline, 64)).ipc;
+                let a = run_profile(
+                    &sim.core,
+                    p,
+                    &spec_of(sim, ReleaseScheme::Atr { redefine_delay: delay }, 64),
+                )
+                .ipc;
+                speedups.push(a / b.max(1e-9));
+            }
+            rows.push(Fig13Row { class: class.to_owned(), delay, speedup: geomean(speedups) });
+        }
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Fig 14
+
+/// One benchmark's region cycle gaps (Fig 14).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig14Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Suite ("int"/"fp").
+    pub class: String,
+    /// Mean cycles rename → redefine.
+    pub rename_to_redefine: f64,
+    /// Mean cycles rename → last consume.
+    pub rename_to_consume: f64,
+    /// Mean cycles rename → redefiner commit.
+    pub rename_to_commit: f64,
+}
+
+/// Fig 14: average cycle gaps within atomic commit regions.
+#[must_use]
+pub fn fig14(sim: &SimConfig) -> Vec<Fig14Row> {
+    let mut rows = Vec::new();
+    for p in all_profiles() {
+        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
+        let r = run_profile(&sim.core, &p, &spec);
+        let reg_class = match p.class {
+            WorkloadClass::Int => atr_isa::RegClass::Int,
+            WorkloadClass::Fp => atr_isa::RegClass::Fp,
+        };
+        let g = atr_analysis::atomic_region_gaps(&r.lifetimes, reg_class);
+        rows.push(Fig14Row {
+            benchmark: p.name.to_owned(),
+            class: class_of(&p).to_owned(),
+            rename_to_redefine: g.rename_to_redefine,
+            rename_to_consume: g.rename_to_consume,
+            rename_to_commit: g.rename_to_commit,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------ Fig 15
+
+/// One scheme's register-requirement result (Fig 15).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15Row {
+    /// Scheme label.
+    pub scheme: String,
+    /// Smallest RF size keeping IPC within the tolerance of the
+    /// 280-register baseline.
+    pub required_rf: usize,
+    /// Relative reduction versus 280 registers.
+    pub reduction: f64,
+}
+
+/// Fig 15: the smallest register file for which each scheme's mean IPC
+/// stays within `tolerance` (paper: 3%) of the 280-register baseline.
+///
+/// Measures each scheme once on the fixed [`RF_SWEEP`] grid and
+/// interpolates the crossing point linearly between grid neighbours
+/// (rounded outward to `step` entries), which bounds the cost at
+/// `4 schemes × 8 sizes × 23 profiles` regardless of where the
+/// crossings fall.
+#[must_use]
+pub fn fig15(sim: &SimConfig, tolerance: f64, step: usize) -> Vec<Fig15Row> {
+    let profiles = all_profiles();
+    let reference: Vec<f64> = profiles
+        .iter()
+        .map(|p| run_profile(&sim.core, p, &spec_of(sim, ReleaseScheme::Baseline, 280)).ipc)
+        .collect();
+
+    let mean_rel = |scheme: ReleaseScheme, rf: usize| -> f64 {
+        let rel: Vec<f64> = profiles
+            .iter()
+            .zip(&reference)
+            .map(|(p, &r0)| {
+                run_profile(&sim.core, p, &spec_of(sim, scheme, rf)).ipc / r0.max(1e-9)
+            })
+            .collect();
+        geomean(rel)
+    };
+
+    let threshold = 1.0 - tolerance;
+    ReleaseScheme::ALL
+        .into_iter()
+        .map(|scheme| {
+            let curve: Vec<(usize, f64)> =
+                RF_SWEEP.iter().map(|&rf| (rf, mean_rel(scheme, rf))).collect();
+            // Find the smallest grid point meeting the threshold, then
+            // interpolate toward its smaller neighbour.
+            let mut required = 280usize;
+            for (i, &(rf, rel)) in curve.iter().enumerate() {
+                if rel >= threshold {
+                    required = rf;
+                    if i > 0 {
+                        let (lo_rf, lo_rel) = curve[i - 1];
+                        if lo_rel < threshold && rel > lo_rel {
+                            let t = (threshold - lo_rel) / (rel - lo_rel);
+                            let exact = lo_rf as f64 + t * (rf - lo_rf) as f64;
+                            required = (exact / step as f64).ceil() as usize * step;
+                        }
+                    } else {
+                        // Meets the threshold at the smallest grid point.
+                        required = rf;
+                    }
+                    break;
+                }
+            }
+            Fig15Row {
+                scheme: scheme.label().to_owned(),
+                required_rf: required.min(280),
+                reduction: 1.0 - required.min(280) as f64 / 280.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_pipeline::CoreConfig;
+
+    fn tiny(warmup: u64, measure: u64) -> SimConfig {
+        SimConfig { core: CoreConfig::default(), warmup, measure }
+    }
+
+    #[test]
+    fn fig10_rows_cover_schemes_and_sizes() {
+        // A tiny budget keeps CI fast; one RF size.
+        let rows = fig10_at(&tiny(1_000, 4_000), &[64]);
+        // 23 benchmarks x 3 schemes + 2 averages x 3 schemes.
+        assert_eq!(rows.len(), 23 * 3 + 6);
+        assert!(
+            rows.iter().all(|r| r.speedup > 0.1 && r.speedup < 10.0),
+            "speedups out of sanity band"
+        );
+        let avg_int = rows
+            .iter()
+            .find(|r| r.benchmark == "average-int" && r.scheme == "combined")
+            .unwrap();
+        assert!(avg_int.speedup > 0.95, "combined should not slow down: {}", avg_int.speedup);
+    }
+
+    #[test]
+    fn fig15_requires_less_for_early_release() {
+        let rows = fig15(&tiny(500, 2_000), 0.10, 64);
+        let get = |label: &str| rows.iter().find(|r| r.scheme == label).unwrap().required_rf;
+        assert!(get("combined") <= get("baseline"));
+        assert!(rows.iter().all(|r| r.required_rf <= 280));
+    }
+}
+
+// -------------------------------------------------------- Ablations
+
+/// One ablation data point.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Which ablation ("move-elim", "counter-width", "checkpoint").
+    pub study: String,
+    /// Variant label.
+    pub variant: String,
+    /// Geomean IPC relative to the study's reference variant.
+    pub relative_ipc: f64,
+}
+
+/// §6 move-elimination ablation: ATR at 64 registers with and without
+/// move elimination (the paper argues they compose synergistically).
+#[must_use]
+pub fn ablation_move_elimination(sim: &SimConfig) -> Vec<AblationRow> {
+    let profiles = spec2017_int();
+    let run_with = |elim: bool| -> f64 {
+        let ipcs: Vec<f64> = profiles
+            .iter()
+            .map(|p| {
+                let mut core_cfg = sim
+                    .core
+                    .clone()
+                    .with_rf_size(64)
+                    .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
+                core_cfg.rename.move_elimination = elim;
+                let spec = RunSpec {
+                    scheme: core_cfg.rename.scheme,
+                    rf_size: 64,
+                    warmup: sim.warmup,
+                    measure: sim.measure,
+                    collect_events: false,
+                };
+                crate::runner::run(&core_cfg, p.build(), &spec).ipc
+            })
+            .collect();
+        geomean(ipcs)
+    };
+    let off = run_with(false);
+    let on = run_with(true);
+    vec![
+        AblationRow { study: "move-elim".into(), variant: "off".into(), relative_ipc: 1.0 },
+        AblationRow { study: "move-elim".into(), variant: "on".into(), relative_ipc: on / off },
+    ]
+}
+
+/// §5.4 consumer-counter-width ablation: ATR with 2/3/4/8-bit counters
+/// at 64 registers (the paper: 3 bits lose nothing vs infinite).
+#[must_use]
+pub fn ablation_counter_width(sim: &SimConfig) -> Vec<AblationRow> {
+    let profiles = spec2017_int();
+    let run_width = |width: u32| -> f64 {
+        let ipcs: Vec<f64> = profiles
+            .iter()
+            .map(|p| {
+                let mut core_cfg = sim
+                    .core
+                    .clone()
+                    .with_rf_size(64)
+                    .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
+                core_cfg.rename.counter_width = width;
+                let spec = RunSpec {
+                    scheme: core_cfg.rename.scheme,
+                    rf_size: 64,
+                    warmup: sim.warmup,
+                    measure: sim.measure,
+                    collect_events: false,
+                };
+                crate::runner::run(&core_cfg, p.build(), &spec).ipc
+            })
+            .collect();
+        geomean(ipcs)
+    };
+    let reference = run_width(8);
+    [2u32, 3, 4, 8]
+        .into_iter()
+        .map(|w| AblationRow {
+            study: "counter-width".into(),
+            variant: format!("{w}-bit"),
+            relative_ipc: run_width(w) / reference,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use atr_pipeline::CoreConfig;
+
+    #[test]
+    fn counter_width_three_bits_suffice() {
+        let sim = SimConfig { core: CoreConfig::default(), warmup: 1_000, measure: 6_000 };
+        let rows = ablation_counter_width(&sim);
+        let three = rows.iter().find(|r| r.variant == "3-bit").unwrap();
+        assert!(
+            three.relative_ipc > 0.98,
+            "§5.4: a 3-bit counter must track a wide one, got {}",
+            three.relative_ipc
+        );
+    }
+}

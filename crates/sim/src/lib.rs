@@ -1,0 +1,29 @@
+//! Simulation driver and experiment harness.
+//!
+//! Glues the pipeline to the workload suite and exposes one function per
+//! evaluation artifact of the paper:
+//!
+//! | paper artifact | function |
+//! |---|---|
+//! | Table 1 configuration | [`config::table1`] |
+//! | Fig 1 (baseline IPC vs RF size) | [`experiments::fig01`] |
+//! | Fig 4 (register lifecycle) | [`experiments::fig04`] |
+//! | Fig 6 (atomic register ratio) | [`experiments::fig06`] |
+//! | Fig 10 (scheme speedups @64/@224) | [`experiments::fig10`] |
+//! | Fig 11 (RF-size sensitivity) | [`experiments::fig11`] |
+//! | Fig 12 (consumer histogram) | [`experiments::fig12`] |
+//! | Fig 13 (redefine-delay sensitivity) | [`experiments::fig13`] |
+//! | Fig 14 (region cycle gaps) | [`experiments::fig14`] |
+//! | Fig 15 (RF-size reduction study) | [`experiments::fig15`] |
+//!
+//! Budgets default to a laptop-scale quick pass and are overridden with
+//! `ATR_SIM_WARMUP` / `ATR_SIM_INSTS` (instructions per measured window)
+//! for full runs.
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use config::{table1, SimConfig};
+pub use runner::{run, RunResult, RunSpec};

@@ -1,0 +1,99 @@
+//! Plain-text table rendering and JSON result persistence for the
+//! experiment binaries.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders rows of cells as an aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// use atr_sim::report::render_table;
+///
+/// let t = render_table(
+///     &["benchmark", "ipc"],
+///     &[vec!["505.mcf_r".to_owned(), "0.21".to_owned()]],
+/// );
+/// assert!(t.contains("505.mcf_r"));
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(ncols) {
+            let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(&mut out, &headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    write_row(&mut out, &sep);
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with two decimals.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats a speedup ratio as a signed percentage gain.
+#[must_use]
+pub fn gain(speedup: f64) -> String {
+    format!("{:+.2}%", (speedup - 1.0) * 100.0)
+}
+
+/// Persists experiment rows as JSON under `results/` (created on
+/// demand), returning the written path.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing.
+pub fn save_json<T: Serialize>(name: &str, rows: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let body = serde_json::to_string_pretty(rows)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_pads_columns() {
+        let t = render_table(
+            &["a", "bench"],
+            &[
+                vec!["1".to_owned(), "x".to_owned()],
+                vec!["22".to_owned(), "yy".to_owned()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("--"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(gain(1.0513), "+5.13%");
+        assert_eq!(gain(0.97), "-3.00%");
+    }
+}

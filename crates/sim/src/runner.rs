@@ -1,0 +1,151 @@
+//! The measurement runner: warmup + measured window over one workload.
+
+use atr_core::{RegLifetime, ReleaseScheme};
+use atr_pipeline::{CoreConfig, CoreStats, OooCore};
+use atr_workload::{Oracle, Program, SpecProfile};
+use std::sync::Arc;
+
+/// One run's parameters.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Release scheme under test.
+    pub scheme: ReleaseScheme,
+    /// Physical register file size (applied to both classes, like the
+    /// paper's sweeps).
+    pub rf_size: usize,
+    /// Warmup instructions (not measured).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+    /// Collect the per-allocation lifetime log (analysis figures).
+    pub collect_events: bool,
+}
+
+impl RunSpec {
+    /// A spec with the environment-controlled budget.
+    #[must_use]
+    pub fn new(scheme: ReleaseScheme, rf_size: usize) -> Self {
+        let (warmup, measure) = crate::config::budget_from_env();
+        RunSpec { scheme, rf_size, warmup, measure, collect_events: false }
+    }
+
+    /// Enables lifetime-event collection.
+    #[must_use]
+    pub fn with_events(mut self) -> Self {
+        self.collect_events = true;
+        self
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// IPC over the measured window (warmup excluded).
+    pub ipc: f64,
+    /// Mean allocated integer registers per cycle over the window.
+    pub avg_int_occupancy: f64,
+    /// Mean allocated FP registers per cycle over the window.
+    pub avg_fp_occupancy: f64,
+    /// Cumulative whole-run statistics.
+    pub stats: CoreStats,
+    /// Lifetime records (empty unless requested).
+    pub lifetimes: Vec<RegLifetime>,
+}
+
+/// Runs `program` under `spec` on top of `base` (everything except
+/// scheme/RF size/event collection is taken from `base`).
+#[must_use]
+pub fn run(base: &CoreConfig, program: Arc<Program>, spec: &RunSpec) -> RunResult {
+    let mut cfg = base
+        .clone()
+        .with_rf_size(spec.rf_size)
+        .with_scheme(spec.scheme);
+    cfg.rename.collect_events = spec.collect_events;
+    let mut core = OooCore::new(cfg, Oracle::new(program));
+    let s0 = if spec.warmup > 0 { core.run(spec.warmup) } else { core.snapshot_stats() };
+    let s1 = core.run(spec.measure);
+    let cycles = (s1.cycles - s0.cycles).max(1);
+    let ipc = (s1.retired - s0.retired) as f64 / cycles as f64;
+    let avg_int =
+        (s1.int_prf_occupancy_sum - s0.int_prf_occupancy_sum) as f64 / cycles as f64;
+    let avg_fp = (s1.fp_prf_occupancy_sum - s0.fp_prf_occupancy_sum) as f64 / cycles as f64;
+    RunResult {
+        ipc,
+        avg_int_occupancy: avg_int,
+        avg_fp_occupancy: avg_fp,
+        stats: s1,
+        lifetimes: core.lifetime_log().to_vec(),
+    }
+}
+
+/// Convenience: run a named SPEC profile.
+#[must_use]
+pub fn run_profile(base: &CoreConfig, profile: &SpecProfile, spec: &RunSpec) -> RunResult {
+    run(base, profile.build(), spec)
+}
+
+/// Geometric mean of positive values (the paper's average speedups).
+#[must_use]
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean of a non-positive value");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_workload::ProfileParams;
+
+    fn quick_spec(scheme: ReleaseScheme, rf: usize) -> RunSpec {
+        RunSpec { scheme, rf_size: rf, warmup: 2_000, measure: 10_000, collect_events: false }
+    }
+
+    #[test]
+    fn measured_window_excludes_warmup() {
+        let program = ProfileParams::default().build();
+        let r = run(
+            &CoreConfig::default(),
+            program,
+            &quick_spec(ReleaseScheme::Baseline, 128),
+        );
+        assert!(r.ipc > 0.05, "ipc {}", r.ipc);
+        assert!(r.stats.retired >= 12_000);
+        assert!(r.avg_int_occupancy > 16.0, "occupancy {}", r.avg_int_occupancy);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let program = ProfileParams::default().build();
+        let spec = quick_spec(ReleaseScheme::Atr { redefine_delay: 0 }, 96);
+        let a = run(&CoreConfig::default(), program.clone(), &spec);
+        let b = run(&CoreConfig::default(), program, &spec);
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.stats.flushes, b.stats.flushes);
+    }
+
+    #[test]
+    fn events_are_collected_on_request() {
+        let program = ProfileParams::default().build();
+        let spec = quick_spec(ReleaseScheme::Baseline, 128).with_events();
+        let mut spec = spec;
+        spec.measure = 5_000;
+        let r = run(&CoreConfig::default(), program, &spec);
+        assert!(!r.lifetimes.is_empty());
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+}

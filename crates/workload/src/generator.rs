@@ -1,0 +1,636 @@
+//! Random program generation from microarchitectural profile parameters.
+//!
+//! [`generate`] builds a closed (infinitely executing) program whose
+//! dynamic character is controlled by [`ProfileParams`]. The parameters
+//! map one-to-one onto the properties that determine register-file
+//! pressure and ATR opportunity:
+//!
+//! * **atomic-region density** — `burst_frac`/`burst_len`/`burst_window`
+//!   emit runs of pure register-to-register compute whose destinations
+//!   rotate over a small register window, creating short
+//!   rename→redefine distances with no branch or memory instruction in
+//!   between (§3.2's atomic commit regions);
+//! * **consumer counts** — `consumer_mean` controls how many readers a
+//!   burst value gets before redefinition (Fig 12);
+//! * **branch behaviour** — `branch_entropy` mixes predictable
+//!   loop/biased branches with data-dependent coin flips, and
+//!   `loop_trip_mean` sets inner-loop trip counts;
+//! * **memory behaviour** — `mem_footprint`, `stride_frac`, `chase_frac`
+//!   split accesses between streaming, uniform-random, and dependent
+//!   pointer-chasing regions;
+//! * **structure** — loop nests with if/else diamonds, helper calls, and
+//!   indirect switches, so the frontend substrate (BTB, RAS, indirect
+//!   predictor) is exercised.
+
+use crate::behavior::{AddrPattern, BranchBehavior};
+use crate::program::{Program, ProgramBuilder};
+use atr_isa::{ArchReg, OpClass};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Tunable workload character. See the [module docs](self) for how each
+/// knob maps to a microarchitectural property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileParams {
+    /// Human-readable name (SPEC benchmark name for the Table 2 suite).
+    pub name: String,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Fraction of compute operations using the FP/vector register file.
+    pub fp_frac: f64,
+    /// Fraction of instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of compute that is multiply.
+    pub mul_frac: f64,
+    /// Fraction of compute that is (non-pipelined, exception-causing) divide.
+    pub div_frac: f64,
+    /// 0 = highly predictable branches, 1 = coin flips.
+    pub branch_entropy: f64,
+    /// Mean inner-loop trip count.
+    pub loop_trip_mean: f64,
+    /// Total data footprint in bytes.
+    pub mem_footprint: u64,
+    /// Fraction of memory PCs with streaming (stride) behaviour.
+    pub stride_frac: f64,
+    /// Fraction of memory PCs with dependent pointer-chase behaviour.
+    pub chase_frac: f64,
+    /// Fraction of block slots emitted as atomic compute bursts.
+    pub burst_frac: f64,
+    /// Instructions per compute burst.
+    pub burst_len: u32,
+    /// Destination-register rotation window inside a burst (smaller ⇒
+    /// shorter rename→redefine distance ⇒ more atomic releases).
+    pub burst_window: u32,
+    /// Mean consumers per burst-defined value (1.0–5.0 is realistic).
+    pub consumer_mean: f64,
+    /// Probability per burst slot of an interleaved load (real kernels
+    /// load operands mid-computation; each one terminates the atomic
+    /// regions spanning it). The dominant calibration knob for the
+    /// Fig 6 atomic ratio.
+    pub burst_hazard: f64,
+    /// Probability a block ends with a call to a shared helper.
+    pub call_frac: f64,
+    /// Probability a block ends with an indirect switch.
+    pub indirect_frac: f64,
+    /// Number of inner loop nests in the outer loop.
+    pub num_loop_nests: u32,
+    /// Straight-line blocks per loop nest.
+    pub blocks_per_nest: u32,
+    /// Mean instructions per straight-line block.
+    pub avg_block_len: u32,
+}
+
+impl Default for ProfileParams {
+    fn default() -> Self {
+        ProfileParams {
+            name: "default".to_owned(),
+            seed: 0,
+            fp_frac: 0.0,
+            load_frac: 0.22,
+            store_frac: 0.08,
+            mul_frac: 0.04,
+            div_frac: 0.002,
+            branch_entropy: 0.25,
+            loop_trip_mean: 24.0,
+            mem_footprint: 1 << 22,
+            stride_frac: 0.5,
+            chase_frac: 0.15,
+            burst_frac: 0.25,
+            burst_len: 8,
+            burst_window: 3,
+            consumer_mean: 1.6,
+            burst_hazard: 0.19,
+            call_frac: 0.12,
+            indirect_frac: 0.03,
+            num_loop_nests: 4,
+            blocks_per_nest: 5,
+            avg_block_len: 9,
+        }
+    }
+}
+
+impl ProfileParams {
+    /// Generates the static program for these parameters.
+    #[must_use]
+    pub fn build(&self) -> Arc<Program> {
+        generate(self)
+    }
+}
+
+/// Integer registers reserved as address bases (rarely redefined).
+const BASE_REGS: [u8; 4] = [0, 1, 2, 3];
+/// Integer registers used by mixed (non-burst) compute.
+const MIXED_INT_REGS: [u8; 8] = [4, 5, 6, 7, 8, 9, 10, 11];
+/// Integer registers dedicated to compute bursts.
+const BURST_INT_REGS: [u8; 4] = [12, 13, 14, 15];
+/// FP registers used by mixed compute.
+const MIXED_FP_REGS: [u8; 10] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9];
+/// FP registers dedicated to compute bursts.
+const BURST_FP_REGS: [u8; 6] = [10, 11, 12, 13, 14, 15];
+
+/// Instruction byte size used for precomputing switch-pad addresses.
+const ISIZE: u64 = atr_isa::StaticInst::DEFAULT_SIZE as u64;
+
+struct Gen<'a> {
+    p: &'a ProfileParams,
+    rng: SmallRng,
+    b: ProgramBuilder,
+    mixed_int_cursor: usize,
+    mixed_fp_cursor: usize,
+    last_int_def: ArchReg,
+    last_fp_def: ArchReg,
+    last_load_dst: Option<ArchReg>,
+    call_sites: Vec<u64>,
+    mem_region_cursor: u64,
+}
+
+impl<'a> Gen<'a> {
+    fn new(p: &'a ProfileParams) -> Self {
+        Gen {
+            p,
+            rng: SmallRng::seed_from_u64(p.seed),
+            b: ProgramBuilder::new(0x40_0000, p.seed),
+            mixed_int_cursor: 0,
+            mixed_fp_cursor: 0,
+            last_int_def: ArchReg::int(MIXED_INT_REGS[0]),
+            last_fp_def: ArchReg::fp(MIXED_FP_REGS[0]),
+            last_load_dst: None,
+            call_sites: Vec::new(),
+            mem_region_cursor: 0,
+        }
+    }
+
+    fn geometric(&mut self, mean: f64) -> u32 {
+        // Geometric with the given mean, at least 1.
+        let mean = mean.max(1.0);
+        let p = 1.0 / mean;
+        let mut n = 1;
+        while n < 10_000 && !self.rng.random_bool(p) {
+            n += 1;
+        }
+        n
+    }
+
+    fn next_mixed_int(&mut self) -> ArchReg {
+        let r = ArchReg::int(MIXED_INT_REGS[self.mixed_int_cursor % MIXED_INT_REGS.len()]);
+        self.mixed_int_cursor += 1;
+        self.last_int_def = r;
+        r
+    }
+
+    fn next_mixed_fp(&mut self) -> ArchReg {
+        let r = ArchReg::fp(MIXED_FP_REGS[self.mixed_fp_cursor % MIXED_FP_REGS.len()]);
+        self.mixed_fp_cursor += 1;
+        self.last_fp_def = r;
+        r
+    }
+
+    fn recent_int(&mut self) -> ArchReg {
+        if self.rng.random_bool(0.35) {
+            self.last_int_def
+        } else {
+            let k = self.rng.random_range(0..MIXED_INT_REGS.len());
+            ArchReg::int(MIXED_INT_REGS[k])
+        }
+    }
+
+    fn recent_fp(&mut self) -> ArchReg {
+        if self.rng.random_bool(0.35) {
+            self.last_fp_def
+        } else {
+            let k = self.rng.random_range(0..MIXED_FP_REGS.len());
+            ArchReg::fp(MIXED_FP_REGS[k])
+        }
+    }
+
+    fn base_reg(&mut self) -> ArchReg {
+        ArchReg::int(BASE_REGS[self.rng.random_range(0..BASE_REGS.len())])
+    }
+
+    fn addr_pattern(&mut self) -> AddrPattern {
+        // Each memory PC gets its own sub-region of the footprint so
+        // streams do not collide.
+        let region = self.p.mem_footprint.max(4096) / 8;
+        let base = 0x1000_0000 + self.mem_region_cursor * region;
+        self.mem_region_cursor = (self.mem_region_cursor + 1) % 8;
+        let roll: f64 = self.rng.random();
+        if roll < self.p.stride_frac {
+            let stride = *[8i64, 16, 64, -8].get(self.rng.random_range(0..4)).unwrap();
+            AddrPattern::Stride { base, stride, footprint: region }
+        } else if roll < self.p.stride_frac + self.p.chase_frac {
+            AddrPattern::PointerChase { base, footprint: region }
+        } else {
+            AddrPattern::UniformRandom { base, footprint: region, align: 8 }
+        }
+    }
+
+    fn cond_behavior(&mut self) -> BranchBehavior {
+        if self.rng.random_bool(self.p.branch_entropy.clamp(0.0, 1.0)) {
+            // Hard, data-dependent branch.
+            BranchBehavior::Biased { taken_prob: self.rng.random_range(0.35..0.65) }
+        } else if self.rng.random_bool(0.3) {
+            // Learnable repeating pattern.
+            let len = self.rng.random_range(2..8usize);
+            let bits = (0..len).map(|_| self.rng.random_bool(0.5)).collect();
+            BranchBehavior::Pattern { bits }
+        } else {
+            // Strongly biased.
+            let p = self.rng.random_range(0.9..0.99);
+            let taken_prob = if self.rng.random_bool(0.5) { p } else { 1.0 - p };
+            BranchBehavior::Biased { taken_prob }
+        }
+    }
+
+    /// Emits one mixed-code instruction.
+    fn emit_mixed_inst(&mut self) {
+        let roll: f64 = self.rng.random();
+        let p = self.p;
+        if roll < p.load_frac {
+            let fp_dst = self.rng.random_bool(p.fp_frac);
+            let dst = if fp_dst { self.next_mixed_fp() } else { self.next_mixed_int() };
+            let pat = self.addr_pattern();
+            // Dependent chases read the previous load's destination as
+            // their base, serializing their misses like a real linked
+            // traversal. Streaming/random loads mostly read freshly
+            // computed address registers (induction/index arithmetic),
+            // so their translation — and with it the precommit pointer
+            // (§2.3) — waits for real dataflow; the rest use long-stable
+            // bases and overlap freely.
+            let base = match (&pat, self.last_load_dst) {
+                (AddrPattern::PointerChase { .. }, Some(prev))
+                    if prev.class() == atr_isa::RegClass::Int =>
+                {
+                    prev
+                }
+                _ if self.rng.random_bool(0.6) => {
+                    let k = self.rng.random_range(0..MIXED_INT_REGS.len());
+                    ArchReg::int(MIXED_INT_REGS[k])
+                }
+                _ => self.base_reg(),
+            };
+            self.b.push_load(dst, base, pat);
+            self.last_load_dst = Some(dst);
+        } else if roll < p.load_frac + p.store_frac {
+            let base = self.base_reg();
+            let data = if self.rng.random_bool(p.fp_frac) { self.recent_fp() } else { self.recent_int() };
+            let pat = self.addr_pattern();
+            self.b.push_store(base, data, pat);
+        } else if roll < p.load_frac + p.store_frac + p.div_frac {
+            let (dst, s) = if self.rng.random_bool(p.fp_frac) {
+                (self.next_mixed_fp(), self.recent_fp())
+            } else {
+                (self.next_mixed_int(), self.recent_int())
+            };
+            let class = if dst.class() == atr_isa::RegClass::Fp { OpClass::FpDiv } else { OpClass::IntDiv };
+            self.b.push_op(class, Some(dst), &[s, s]);
+        } else if roll < p.load_frac + p.store_frac + p.div_frac + p.mul_frac {
+            if self.rng.random_bool(p.fp_frac) {
+                let (s1, s2) = (self.recent_fp(), self.recent_fp());
+                let dst = self.next_mixed_fp();
+                self.b.push_op(OpClass::FpMul, Some(dst), &[s1, s2]);
+            } else {
+                let (s1, s2) = (self.recent_int(), self.recent_int());
+                let dst = self.next_mixed_int();
+                self.b.push_op(OpClass::IntMul, Some(dst), &[s1, s2]);
+            }
+        } else if self.rng.random_bool(p.fp_frac) {
+            let (s1, s2) = (self.recent_fp(), self.recent_fp());
+            let dst = self.next_mixed_fp();
+            let class = if self.rng.random_bool(0.5) { OpClass::FpAdd } else { OpClass::VecAlu };
+            self.b.push_op(class, Some(dst), &[s1, s2]);
+        } else {
+            let (s1, s2) = (self.recent_int(), self.recent_int());
+            let dst = self.next_mixed_int();
+            let class = if self.rng.random_bool(0.08) { OpClass::Mov } else { OpClass::IntAlu };
+            if class == OpClass::Mov {
+                self.b.push_op(class, Some(dst), &[s1]);
+            } else {
+                self.b.push_op(class, Some(dst), &[s1, s2]);
+            }
+        }
+    }
+
+    /// Emits a compute burst: `burst_len` register-to-register ops whose
+    /// destinations rotate over `burst_window` dedicated registers, with
+    /// `consumer_mean` readers per definition — an atomic commit region
+    /// factory.
+    fn emit_burst(&mut self) {
+        let fp = self.rng.random_bool(self.p.fp_frac);
+        let regs: &[u8] = if fp { &BURST_FP_REGS } else { &BURST_INT_REGS };
+        let window = (self.p.burst_window as usize).clamp(2, regs.len());
+        let len = self.p.burst_len.max(2);
+        let mut cursor = 0usize;
+        let stable = self.base_reg();
+        // Kernels compute on loaded data: seeding the chains with the
+        // most recent load's value makes consumption wait for memory,
+        // which is what stretches the in-use phase (Fig 4) and puts the
+        // last consume well after the redefinition (Fig 14).
+        let mut seed = match self.last_load_dst {
+            Some(r) if (r.class() == atr_isa::RegClass::Fp) == fp => r,
+            _ => stable,
+        };
+        for _ in 0..len {
+            let dst_idx = regs[cursor % window];
+            let dst = if fp { ArchReg::fp(dst_idx) } else { ArchReg::int(dst_idx) };
+            cursor += 1;
+            let class = if fp {
+                if self.rng.random_bool(0.35) { OpClass::FpMul } else { OpClass::FpAdd }
+            } else {
+                OpClass::IntAlu
+            };
+            // Each destination register forms its own dependency chain:
+            // the chain head reads the loaded seed (so consumption waits
+            // for memory, stretching the in-use phase), and subsequent
+            // links iterate on registers — `window` independent chains
+            // of high ILP that make register-file capacity the binding
+            // resource.
+            let second = if cursor <= window { seed } else { stable };
+            self.b.push_op(class, Some(dst), &[dst, second]);
+            // Extra consumers of the new value before it is redefined,
+            // mutually independent.
+            let extra = (self.geometric(self.p.consumer_mean.max(1.0)) - 1).min(5);
+            for _ in 0..extra {
+                let sink = if fp { self.next_mixed_fp() } else { self.next_mixed_int() };
+                let c = if fp { OpClass::FpAdd } else { OpClass::IntAlu };
+                self.b.push_op(c, Some(sink), &[dst]);
+                cursor += 1;
+            }
+            // Interleaved operand load: terminates the atomic regions
+            // currently spanning the burst.
+            if self.rng.random_bool(self.p.burst_hazard.clamp(0.0, 1.0)) {
+                let ldst = if fp && self.rng.random_bool(0.5) {
+                    self.next_mixed_fp()
+                } else {
+                    self.next_mixed_int()
+                };
+                let base = self.base_reg();
+                let pat = self.addr_pattern();
+                self.b.push_load(ldst, base, pat);
+                self.last_load_dst = Some(ldst);
+                if (ldst.class() == atr_isa::RegClass::Fp) == fp {
+                    seed = ldst;
+                }
+            }
+        }
+        // Result store closing the kernel (breaks regions that would
+        // otherwise stretch into the next burst).
+        if self.rng.random_bool(0.5) {
+            let data = if fp { self.recent_fp() } else { self.recent_int() };
+            let base = self.base_reg();
+            let pat = self.addr_pattern();
+            self.b.push_store(base, data, pat);
+        }
+    }
+
+    /// Emits a straight-line block of roughly `avg_block_len` instructions.
+    fn emit_block(&mut self) {
+        let len = self
+            .rng
+            .random_range((self.p.avg_block_len.max(2) / 2)..=(self.p.avg_block_len.max(2) * 3 / 2));
+        let mut emitted = 0;
+        while emitted < len {
+            if self.rng.random_bool(self.p.burst_frac.clamp(0.0, 1.0)) {
+                self.emit_burst();
+                emitted += self.p.burst_len;
+            } else {
+                self.emit_mixed_inst();
+                emitted += 1;
+            }
+        }
+    }
+
+    /// Branch source. Real control flow (loop exits, data-dependent
+    /// conditions) reads the *latest* computed values — the tails of
+    /// the dependency chains — so branches resolve about when the
+    /// chains complete. That keeps the precommit pointer (§2.3), which
+    /// must wait for every older branch, trailing commit realistically.
+    fn branch_src(&mut self) -> ArchReg {
+        let roll: f64 = self.rng.random();
+        if roll < 0.6 {
+            let k = self.rng.random_range(0..BURST_INT_REGS.len());
+            return ArchReg::int(BURST_INT_REGS[k]);
+        }
+        if roll < 0.85 {
+            if let Some(ld) = self.last_load_dst {
+                if ld.class() == atr_isa::RegClass::Int {
+                    return ld;
+                }
+            }
+        }
+        self.recent_int()
+    }
+
+    /// Emits an indirect switch with `k` landing pads, each jumping to a
+    /// common join. Pad addresses are precomputed from the fixed
+    /// instruction size.
+    fn emit_switch(&mut self, k: usize) {
+        let pad_body = 2u64; // instructions per pad, excluding the jump
+        let switch_pc = self.b.next_pc();
+        let first_pad = switch_pc + ISIZE;
+        let pad_size = (pad_body + 1) * ISIZE;
+        let targets: Vec<u64> = (0..k as u64).map(|i| first_pad + i * pad_size).collect();
+        let join = first_pad + k as u64 * pad_size;
+        let src = self.branch_src();
+        self.b.push_indirect(targets.clone(), &[src]);
+        for t in &targets {
+            assert_eq!(self.b.next_pc(), *t, "switch pad layout drifted");
+            for _ in 0..pad_body {
+                let s = self.recent_int();
+                let d = self.next_mixed_int();
+                self.b.push_op(OpClass::IntAlu, Some(d), &[s]);
+            }
+            self.b.push_jump(join);
+        }
+        assert_eq!(self.b.next_pc(), join, "switch join layout drifted");
+    }
+
+    /// Emits the whole program.
+    fn run(mut self) -> Arc<Program> {
+        let outer_head = self.b.next_pc();
+        for _ in 0..self.p.num_loop_nests.max(1) {
+            // Re-seed base/address registers.
+            for base in BASE_REGS {
+                let s = self.recent_int();
+                self.b.push_op(OpClass::IntAlu, Some(ArchReg::int(base)), &[s]);
+            }
+            let loop_head = self.b.next_pc();
+            for _ in 0..self.p.blocks_per_nest.max(1) {
+                self.emit_block();
+                // Optional if/else diamond.
+                if self.rng.random_bool(0.5) {
+                    let behavior = self.cond_behavior();
+                    let src = self.branch_src();
+                    let fwd = self.b.push_cond_branch(0, &[src], behavior);
+                    self.emit_block();
+                    let join = self.b.next_pc();
+                    self.b.patch_target(fwd, join);
+                }
+                if self.rng.random_bool(self.p.indirect_frac.clamp(0.0, 1.0)) {
+                    let k = self.rng.random_range(2..5usize);
+                    self.emit_switch(k);
+                }
+                if self.rng.random_bool(self.p.call_frac.clamp(0.0, 1.0)) {
+                    let site = self.b.push_call(0);
+                    self.call_sites.push(site);
+                }
+            }
+            let trip = self.geometric(self.p.loop_trip_mean).max(2);
+            let src = self.branch_src();
+            self.b.push_cond_branch(loop_head, &[src], BranchBehavior::Loop { trip_count: trip });
+        }
+        self.b.push_jump(outer_head);
+
+        // Helper functions, then patch call sites.
+        let n_helpers = 3.max(self.call_sites.len().min(6));
+        let mut helper_pcs = Vec::new();
+        for _ in 0..n_helpers {
+            helper_pcs.push(self.b.next_pc());
+            for _ in 0..self.rng.random_range(3..9usize) {
+                self.emit_mixed_inst();
+            }
+            self.b.push_return();
+        }
+        let sites = std::mem::take(&mut self.call_sites);
+        for site in sites {
+            let idx = self.rng.random_range(0..helper_pcs.len());
+            let h = helper_pcs[idx];
+            self.b.patch_target(site, h);
+        }
+        self.b.build()
+    }
+}
+
+/// Generates a closed, infinitely executing program from `params`.
+///
+/// The result is deterministic in `params` (including the seed).
+#[must_use]
+pub fn generate(params: &ProfileParams) -> Arc<Program> {
+    Gen::new(params).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use atr_isa::OpClass;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ProfileParams::default();
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(a.instructions(), b.instructions());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&ProfileParams::default());
+        let b = generate(&ProfileParams { seed: 1, ..ProfileParams::default() });
+        assert_ne!(a.instructions(), b.instructions());
+    }
+
+    #[test]
+    fn program_is_closed_over_long_executions() {
+        let p = ProfileParams { indirect_frac: 0.1, call_frac: 0.2, ..ProfileParams::default() };
+        let prog = generate(&p);
+        let mut oracle = Oracle::new(prog);
+        // 200k instructions without falling off the program.
+        for i in 0..200_000 {
+            let _ = oracle.get(i);
+            if i % 4096 == 0 {
+                oracle.release_before(i.saturating_sub(1024));
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_mix_tracks_parameters() {
+        let p = ProfileParams {
+            load_frac: 0.3,
+            store_frac: 0.1,
+            burst_frac: 0.0,
+            ..ProfileParams::default()
+        };
+        let mut oracle = Oracle::new(generate(&p));
+        let n = 50_000;
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        for i in 0..n {
+            let c = oracle.get(i).sinst.class;
+            if c == OpClass::Load {
+                loads += 1;
+            } else if c == OpClass::Store {
+                stores += 1;
+            }
+            oracle.release_before(i.saturating_sub(16));
+        }
+        let lf = loads as f64 / n as f64;
+        let sf = stores as f64 / n as f64;
+        // Control-flow overhead dilutes the mix; accept a wide band.
+        assert!(lf > 0.15 && lf < 0.40, "load fraction {lf}");
+        assert!(sf > 0.04 && sf < 0.20, "store fraction {sf}");
+    }
+
+    #[test]
+    fn fp_profile_emits_fp_compute() {
+        let p = ProfileParams { fp_frac: 0.8, ..ProfileParams::default() };
+        let h = generate(&p).class_histogram();
+        let fp_ops = h.get(&OpClass::FpAdd).copied().unwrap_or(0)
+            + h.get(&OpClass::FpMul).copied().unwrap_or(0)
+            + h.get(&OpClass::VecAlu).copied().unwrap_or(0);
+        let int_ops = h.get(&OpClass::IntAlu).copied().unwrap_or(0);
+        assert!(fp_ops > int_ops / 2, "fp {fp_ops} vs int {int_ops}");
+    }
+
+    #[test]
+    fn bursts_create_back_to_back_alu_runs() {
+        let p = ProfileParams { burst_frac: 0.9, burst_len: 10, ..ProfileParams::default() };
+        let prog = generate(&p);
+        let mut best_run = 0usize;
+        let mut run = 0usize;
+        for i in prog.instructions() {
+            if i.class == OpClass::IntAlu {
+                run += 1;
+                best_run = best_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(best_run >= 10, "longest ALU run {best_run}");
+    }
+
+    #[test]
+    fn switch_pads_are_reachable() {
+        let p = ProfileParams { indirect_frac: 1.0, ..ProfileParams::default() };
+        let prog = generate(&p);
+        // Every indirect target must be a valid instruction.
+        for inst in prog.instructions() {
+            if inst.class == OpClass::IndirectJump {
+                if let Some(BranchBehavior::IndirectUniform { targets }) =
+                    prog.branch_behavior(inst.pc)
+                {
+                    for t in targets {
+                        assert!(prog.at(*t).is_some(), "dangling switch target {t:#x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calls_target_helpers_that_return() {
+        let p = ProfileParams { call_frac: 1.0, ..ProfileParams::default() };
+        let prog = generate(&p);
+        for inst in prog.instructions() {
+            if inst.class == OpClass::Call {
+                let t = inst.taken_target.unwrap();
+                assert!(prog.at(t).is_some(), "dangling call target {t:#x}");
+            }
+        }
+        let h = prog.class_histogram();
+        assert!(h.get(&OpClass::Return).copied().unwrap_or(0) >= 3);
+    }
+}

@@ -1,0 +1,376 @@
+//! The static program: decoded instructions addressable by PC.
+
+use crate::behavior::{AddrPattern, BranchBehavior};
+use atr_isa::{OpClass, StaticInst};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A static program: the analogue of a decoded text segment.
+///
+/// Instructions are laid out at ascending PCs; [`Program::at`] performs
+/// the PC → instruction lookup that both on-path and wrong-path fetch
+/// use. Control-flow and memory instructions carry attached behaviours
+/// that the [oracle](crate::Oracle) instantiates.
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<StaticInst>,
+    pc_index: HashMap<u64, usize>,
+    entry: u64,
+    branch_behaviors: HashMap<u64, BranchBehavior>,
+    addr_patterns: HashMap<u64, AddrPattern>,
+    seed: u64,
+}
+
+impl Program {
+    /// The entry PC (where the oracle starts executing).
+    #[must_use]
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Base seed individualizing this program's behaviours.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Looks up the instruction at `pc`, or `None` if `pc` is not a valid
+    /// instruction boundary (fetch treats that as falling off the program
+    /// on a wild wrong path).
+    #[must_use]
+    pub fn at(&self, pc: u64) -> Option<&StaticInst> {
+        self.pc_index.get(&pc).map(|&i| &self.insts[i])
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// All static instructions in layout order.
+    #[must_use]
+    pub fn instructions(&self) -> &[StaticInst] {
+        &self.insts
+    }
+
+    /// The branch behaviour attached to `pc`, if any.
+    #[must_use]
+    pub fn branch_behavior(&self, pc: u64) -> Option<&BranchBehavior> {
+        self.branch_behaviors.get(&pc)
+    }
+
+    /// The address pattern attached to `pc`, if any.
+    #[must_use]
+    pub fn addr_pattern(&self, pc: u64) -> Option<&AddrPattern> {
+        self.addr_patterns.get(&pc)
+    }
+
+    /// Static instruction-mix histogram, used by tests and by the
+    /// workload-characterization example.
+    #[must_use]
+    pub fn class_histogram(&self) -> HashMap<OpClass, usize> {
+        let mut h = HashMap::new();
+        for i in &self.insts {
+            *h.entry(i.class).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Incremental builder for a [`Program`].
+///
+/// Instructions are appended at ascending PCs starting from `entry`; the
+/// builder patches fallthrough targets and validates control-flow
+/// wiring at [`ProgramBuilder::build`] time.
+///
+/// # Examples
+///
+/// ```
+/// use atr_workload::{ProgramBuilder, BranchBehavior};
+/// use atr_isa::{ArchReg, StaticInst};
+///
+/// let mut b = ProgramBuilder::new(0x1000, 7);
+/// let head = b.next_pc();
+/// b.push_alu(ArchReg::int(1), &[ArchReg::int(2)]);
+/// b.push_cond_branch(head, &[ArchReg::int(1)], BranchBehavior::Loop { trip_count: 8 });
+/// let program = b.build();
+/// assert_eq!(program.len(), 2);
+/// assert!(program.at(head).is_some());
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    insts: Vec<StaticInst>,
+    next_pc: u64,
+    entry: u64,
+    branch_behaviors: HashMap<u64, BranchBehavior>,
+    addr_patterns: HashMap<u64, AddrPattern>,
+    seed: u64,
+}
+
+impl ProgramBuilder {
+    /// Starts a program at `entry`; `seed` individualizes behaviours.
+    #[must_use]
+    pub fn new(entry: u64, seed: u64) -> Self {
+        ProgramBuilder {
+            insts: Vec::new(),
+            next_pc: entry,
+            entry,
+            branch_behaviors: HashMap::new(),
+            addr_patterns: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// The PC the next pushed instruction will occupy (usable as a
+    /// branch target for back-edges).
+    #[must_use]
+    pub fn next_pc(&self) -> u64 {
+        self.next_pc
+    }
+
+    /// Appends a raw instruction, assigning it the next PC. Returns its PC.
+    pub fn push(&mut self, mut inst: StaticInst) -> u64 {
+        let pc = self.next_pc;
+        inst.pc = pc;
+        inst.fallthrough = pc + u64::from(inst.size);
+        self.next_pc = inst.fallthrough;
+        self.insts.push(inst);
+        pc
+    }
+
+    /// Appends an integer ALU op.
+    pub fn push_alu(&mut self, dst: atr_isa::ArchReg, srcs: &[atr_isa::ArchReg]) -> u64 {
+        self.push(StaticInst::alu(0, dst, srcs))
+    }
+
+    /// Appends an instruction of an arbitrary class.
+    pub fn push_op(
+        &mut self,
+        class: OpClass,
+        dst: Option<atr_isa::ArchReg>,
+        srcs: &[atr_isa::ArchReg],
+    ) -> u64 {
+        self.push(StaticInst::new(0, class, dst, srcs))
+    }
+
+    /// Appends a load with an address pattern.
+    pub fn push_load(
+        &mut self,
+        dst: atr_isa::ArchReg,
+        base: atr_isa::ArchReg,
+        pattern: AddrPattern,
+    ) -> u64 {
+        let pc = self.push(StaticInst::load(0, dst, base));
+        self.addr_patterns.insert(pc, pattern);
+        pc
+    }
+
+    /// Appends a store with an address pattern.
+    pub fn push_store(
+        &mut self,
+        base: atr_isa::ArchReg,
+        data: atr_isa::ArchReg,
+        pattern: AddrPattern,
+    ) -> u64 {
+        let pc = self.push(StaticInst::store(0, base, data));
+        self.addr_patterns.insert(pc, pattern);
+        pc
+    }
+
+    /// Appends a conditional branch with a behaviour.
+    pub fn push_cond_branch(
+        &mut self,
+        target: u64,
+        srcs: &[atr_isa::ArchReg],
+        behavior: BranchBehavior,
+    ) -> u64 {
+        let pc = self.push(StaticInst::cond_branch(0, target, srcs));
+        self.branch_behaviors.insert(pc, behavior);
+        pc
+    }
+
+    /// Appends an unconditional direct jump.
+    pub fn push_jump(&mut self, target: u64) -> u64 {
+        self.push(StaticInst::jump(0, target))
+    }
+
+    /// Appends a direct call to `target`.
+    pub fn push_call(&mut self, target: u64) -> u64 {
+        let mut i = StaticInst::new(0, OpClass::Call, None, &[]);
+        i.taken_target = Some(target);
+        self.push(i)
+    }
+
+    /// Appends a return.
+    pub fn push_return(&mut self) -> u64 {
+        self.push(StaticInst::new(0, OpClass::Return, None, &[]))
+    }
+
+    /// Appends an indirect jump choosing among `targets`.
+    pub fn push_indirect(&mut self, targets: Vec<u64>, srcs: &[atr_isa::ArchReg]) -> u64 {
+        let pc = self.push(StaticInst::new(0, OpClass::IndirectJump, None, srcs));
+        self.branch_behaviors.insert(pc, BranchBehavior::IndirectUniform { targets });
+        pc
+    }
+
+    /// Overrides the taken target of an already-pushed direct branch —
+    /// used to patch forward branches once their target PC is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is unknown or not direct control flow.
+    pub fn patch_target(&mut self, pc: u64, target: u64) {
+        let inst = self
+            .insts
+            .iter_mut()
+            .find(|i| i.pc == pc)
+            .unwrap_or_else(|| panic!("patch_target: no instruction at {pc:#x}"));
+        assert!(
+            matches!(inst.class, OpClass::CondBranch | OpClass::DirectJump | OpClass::Call),
+            "patch_target: {:#x} is not direct control flow",
+            pc
+        );
+        inst.taken_target = Some(target);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program is empty, if any direct control flow is
+    /// missing a target, if any conditional branch or indirect jump is
+    /// missing a behaviour, or if any memory op is missing an address
+    /// pattern — catching generator bugs early.
+    #[must_use]
+    pub fn build(self) -> Arc<Program> {
+        assert!(!self.insts.is_empty(), "program must have at least one instruction");
+        let mut pc_index = HashMap::with_capacity(self.insts.len());
+        for (i, inst) in self.insts.iter().enumerate() {
+            let prev = pc_index.insert(inst.pc, i);
+            assert!(prev.is_none(), "duplicate PC {:#x}", inst.pc);
+            match inst.class {
+                OpClass::CondBranch | OpClass::DirectJump | OpClass::Call => {
+                    assert!(inst.taken_target.is_some(), "direct control flow at {:#x} lacks a target", inst.pc);
+                }
+                _ => {}
+            }
+            if inst.class.is_conditional() || matches!(inst.class, OpClass::IndirectJump) {
+                assert!(
+                    self.branch_behaviors.contains_key(&inst.pc),
+                    "branch at {:#x} lacks a behaviour",
+                    inst.pc
+                );
+            }
+            if inst.class.is_memory() {
+                assert!(
+                    self.addr_patterns.contains_key(&inst.pc),
+                    "memory op at {:#x} lacks an address pattern",
+                    inst.pc
+                );
+            }
+        }
+        Arc::new(Program {
+            insts: self.insts,
+            pc_index,
+            entry: self.entry,
+            branch_behaviors: self.branch_behaviors,
+            addr_patterns: self.addr_patterns,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_isa::ArchReg;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn builder_assigns_sequential_pcs() {
+        let mut b = ProgramBuilder::new(0x400000, 0);
+        let p0 = b.push_alu(r(0), &[r(1)]);
+        let p1 = b.push_alu(r(1), &[r(0)]);
+        assert_eq!(p0, 0x400000);
+        assert_eq!(p1, 0x400004);
+        let prog = b.build();
+        assert_eq!(prog.at(p1).unwrap().fallthrough, 0x400008);
+    }
+
+    #[test]
+    fn lookup_misses_between_instructions() {
+        let mut b = ProgramBuilder::new(0x1000, 0);
+        b.push_alu(r(0), &[]);
+        let prog = b.build();
+        assert!(prog.at(0x1000).is_some());
+        assert!(prog.at(0x1002).is_none());
+    }
+
+    #[test]
+    fn loop_program_wires_backedge() {
+        let mut b = ProgramBuilder::new(0, 0);
+        let head = b.next_pc();
+        b.push_alu(r(0), &[r(0)]);
+        b.push_cond_branch(head, &[r(0)], BranchBehavior::Loop { trip_count: 3 });
+        let prog = b.build();
+        let br = prog.instructions()[1];
+        assert_eq!(br.taken_target, Some(head));
+        assert!(prog.branch_behavior(br.pc).is_some());
+    }
+
+    #[test]
+    fn patch_target_fixes_forward_branches() {
+        let mut b = ProgramBuilder::new(0, 0);
+        let br = b.push_cond_branch(0, &[r(0)], BranchBehavior::NeverTaken);
+        b.push_alu(r(1), &[]);
+        let join = b.next_pc();
+        b.push_alu(r(2), &[]);
+        b.patch_target(br, join);
+        let prog = b.build();
+        assert_eq!(prog.at(br).unwrap().taken_target, Some(join));
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks an address pattern")]
+    fn memory_without_pattern_is_rejected() {
+        let mut b = ProgramBuilder::new(0, 0);
+        b.push(StaticInst::load(0, r(0), r(1)));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a behaviour")]
+    fn branch_without_behavior_is_rejected() {
+        let mut b = ProgramBuilder::new(0, 0);
+        b.push(StaticInst::cond_branch(0, 0x40, &[]));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instruction")]
+    fn empty_program_is_rejected() {
+        let _ = ProgramBuilder::new(0, 0).build();
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let mut b = ProgramBuilder::new(0, 0);
+        b.push_alu(r(0), &[]);
+        b.push_alu(r(1), &[]);
+        b.push_load(r(2), r(0), AddrPattern::Stride { base: 0, stride: 8, footprint: 64 });
+        let prog = b.build();
+        let h = prog.class_histogram();
+        assert_eq!(h[&OpClass::IntAlu], 2);
+        assert_eq!(h[&OpClass::Load], 1);
+    }
+}

@@ -1,0 +1,483 @@
+//! SPEC CPU 2017 stand-in profiles (Table 2 of the paper).
+//!
+//! Each profile names one benchmark from Table 2 and instantiates
+//! [`ProfileParams`] whose knobs reflect the published microarchitectural
+//! character of that benchmark (branch behaviour, memory intensity and
+//! irregularity, FP/vector content, call/indirect density). The dynamic
+//! streams are synthetic, so absolute IPC does not match real SPEC runs;
+//! what the profiles preserve is the *relative* register-pressure
+//! behaviour the paper's evaluation depends on: rename→redefine
+//! distances, atomic-region density, consumer counts, and misprediction
+//! exposure.
+
+use crate::generator::ProfileParams;
+use crate::program::Program;
+use std::sync::Arc;
+
+/// Whether a profile belongs to the integer or floating-point suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// SPEC2017int (scalar register file pressure).
+    Int,
+    /// SPEC2017fp (vector register file pressure).
+    Fp,
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadClass::Int => f.write_str("SPEC2017int"),
+            WorkloadClass::Fp => f.write_str("SPEC2017fp"),
+        }
+    }
+}
+
+/// A named benchmark profile: Table 2 entry plus its generator knobs.
+#[derive(Debug, Clone)]
+pub struct SpecProfile {
+    /// SPEC benchmark name, e.g. `"520.omnetpp_r"`.
+    pub name: &'static str,
+    /// Which suite the benchmark belongs to.
+    pub class: WorkloadClass,
+    /// Generator parameters modeling the benchmark's character.
+    pub params: ProfileParams,
+}
+
+impl SpecProfile {
+    /// Generates the static program for this profile.
+    #[must_use]
+    pub fn build(&self) -> Arc<Program> {
+        self.params.build()
+    }
+}
+
+fn base_int(name: &'static str, seed: u64) -> ProfileParams {
+    ProfileParams {
+        name: name.to_owned(),
+        seed,
+        fp_frac: 0.02,
+        ..ProfileParams::default()
+    }
+}
+
+fn base_fp(name: &'static str, seed: u64) -> ProfileParams {
+    ProfileParams {
+        name: name.to_owned(),
+        seed,
+        fp_frac: 0.70,
+        load_frac: 0.26,
+        store_frac: 0.09,
+        branch_entropy: 0.08,
+        loop_trip_mean: 64.0,
+        stride_frac: 0.75,
+        chase_frac: 0.03,
+        burst_frac: 0.13,
+        burst_len: 8,
+        burst_window: 3,
+        consumer_mean: 1.8,
+        burst_hazard: 0.32,
+        call_frac: 0.05,
+        indirect_frac: 0.005,
+        ..ProfileParams::default()
+    }
+}
+
+/// The ten SPEC2017int benchmarks of Table 2.
+#[must_use]
+#[allow(clippy::vec_init_then_push)]
+pub fn spec2017_int() -> Vec<SpecProfile> {
+    use WorkloadClass::Int;
+    let mut v = Vec::new();
+    // 500.perlbench_r: interpreter — indirect-heavy, many calls, branchy.
+    v.push(SpecProfile {
+        name: "500.perlbench_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.30,
+            call_frac: 0.30,
+            indirect_frac: 0.10,
+            burst_frac: 0.18,
+            mem_footprint: 1 << 21,
+            ..base_int("500.perlbench_r", 0x500)
+        },
+    });
+    // 502.gcc_r: large footprint, calls, moderate mispredictions.
+    v.push(SpecProfile {
+        name: "502.gcc_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.28,
+            call_frac: 0.25,
+            indirect_frac: 0.05,
+            mem_footprint: 1 << 24,
+            stride_frac: 0.35,
+            chase_frac: 0.25,
+            burst_frac: 0.20,
+            ..base_int("502.gcc_r", 0x502)
+        },
+    });
+    // 505.mcf_r: pointer chasing, memory bound, few atomic bursts.
+    v.push(SpecProfile {
+        name: "505.mcf_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.35,
+            load_frac: 0.32,
+            mem_footprint: 1 << 26,
+            stride_frac: 0.10,
+            chase_frac: 0.60,
+            burst_frac: 0.10,
+            loop_trip_mean: 12.0,
+            ..base_int("505.mcf_r", 0x505)
+        },
+    });
+    // 520.omnetpp_r: discrete event simulation — pointer heavy, indirect.
+    v.push(SpecProfile {
+        name: "520.omnetpp_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.32,
+            load_frac: 0.28,
+            mem_footprint: 1 << 25,
+            stride_frac: 0.15,
+            chase_frac: 0.45,
+            indirect_frac: 0.08,
+            call_frac: 0.22,
+            burst_frac: 0.15,
+            ..base_int("520.omnetpp_r", 0x520)
+        },
+    });
+    // 523.xalancbmk_r: XML — virtual dispatch, calls, medium footprint.
+    v.push(SpecProfile {
+        name: "523.xalancbmk_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.22,
+            call_frac: 0.32,
+            indirect_frac: 0.12,
+            mem_footprint: 1 << 23,
+            chase_frac: 0.30,
+            burst_frac: 0.18,
+            ..base_int("523.xalancbmk_r", 0x523)
+        },
+    });
+    // 525.x264_r: video encoding — vectorizable compute bursts, predictable.
+    v.push(SpecProfile {
+        name: "525.x264_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.10,
+            fp_frac: 0.25,
+            loop_trip_mean: 48.0,
+            stride_frac: 0.80,
+            chase_frac: 0.02,
+            burst_frac: 0.35,
+            burst_len: 12,
+            consumer_mean: 2.0,
+            mem_footprint: 1 << 23,
+            ..base_int("525.x264_r", 0x525)
+        },
+    });
+    // 531.deepsjeng_r: chess — hard data-dependent branches.
+    v.push(SpecProfile {
+        name: "531.deepsjeng_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.45,
+            loop_trip_mean: 8.0,
+            mem_footprint: 1 << 22,
+            burst_frac: 0.22,
+            call_frac: 0.20,
+            ..base_int("531.deepsjeng_r", 0x531)
+        },
+    });
+    // 541.leela_r: go — hard branches, small footprint.
+    v.push(SpecProfile {
+        name: "541.leela_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.42,
+            loop_trip_mean: 10.0,
+            mem_footprint: 1 << 21,
+            burst_frac: 0.22,
+            consumer_mean: 1.7,
+            ..base_int("541.leela_r", 0x541)
+        },
+    });
+    // 548.exchange2_r: branchy integer compute, tiny memory footprint,
+    // highest atomic-region density in the int suite.
+    v.push(SpecProfile {
+        name: "548.exchange2_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.18,
+            load_frac: 0.10,
+            store_frac: 0.04,
+            mem_footprint: 1 << 18,
+            burst_frac: 0.40,
+            burst_len: 10,
+            burst_window: 3,
+            loop_trip_mean: 9.0,
+            consumer_mean: 2.0,
+            ..base_int("548.exchange2_r", 0x548)
+        },
+    });
+    // 557.xz_r: compression — data-dependent branches, streaming + random mix.
+    v.push(SpecProfile {
+        name: "557.xz_r",
+        class: Int,
+        params: ProfileParams {
+            branch_entropy: 0.38,
+            load_frac: 0.26,
+            stride_frac: 0.45,
+            chase_frac: 0.20,
+            mem_footprint: 1 << 24,
+            burst_frac: 0.18,
+            ..base_int("557.xz_r", 0x557)
+        },
+    });
+    v
+}
+
+/// The thirteen SPEC2017fp benchmarks of Table 2.
+#[must_use]
+#[allow(clippy::vec_init_then_push)]
+pub fn spec2017_fp() -> Vec<SpecProfile> {
+    use WorkloadClass::Fp;
+    let mut v = Vec::new();
+    // 503.bwaves_r: dense solver — long streams, very predictable.
+    v.push(SpecProfile {
+        name: "503.bwaves_r",
+        class: Fp,
+        params: ProfileParams {
+            loop_trip_mean: 128.0,
+            stride_frac: 0.90,
+            mem_footprint: 1 << 26,
+            burst_frac: 0.25,
+            ..base_fp("503.bwaves_r", 0x503)
+        },
+    });
+    // 507.cactuBSSN_r: stencil — many streams, high ILP bursts.
+    v.push(SpecProfile {
+        name: "507.cactuBSSN_r",
+        class: Fp,
+        params: ProfileParams {
+            stride_frac: 0.85,
+            mem_footprint: 1 << 25,
+            burst_frac: 0.30,
+            burst_len: 12,
+            consumer_mean: 2.2,
+            ..base_fp("507.cactuBSSN_r", 0x507)
+        },
+    });
+    // 508.namd_r: molecular dynamics — long compute regions with the
+    // highest consumer counts in the suite (Fig 12).
+    v.push(SpecProfile {
+        name: "508.namd_r",
+        class: Fp,
+        params: ProfileParams {
+            stride_frac: 0.60,
+            mem_footprint: 1 << 23,
+            burst_frac: 0.40,
+            burst_len: 14,
+            burst_window: 5,
+            consumer_mean: 3.2,
+            ..base_fp("508.namd_r", 0x508)
+        },
+    });
+    // 510.parest_r: FEM — mixed streams and sparse access.
+    v.push(SpecProfile {
+        name: "510.parest_r",
+        class: Fp,
+        params: ProfileParams {
+            stride_frac: 0.55,
+            chase_frac: 0.15,
+            mem_footprint: 1 << 25,
+            ..base_fp("510.parest_r", 0x510)
+        },
+    });
+    // 511.povray_r: ray tracing — branchy for an FP code, calls.
+    v.push(SpecProfile {
+        name: "511.povray_r",
+        class: Fp,
+        params: ProfileParams {
+            branch_entropy: 0.30,
+            call_frac: 0.25,
+            loop_trip_mean: 16.0,
+            mem_footprint: 1 << 21,
+            burst_frac: 0.25,
+            ..base_fp("511.povray_r", 0x511)
+        },
+    });
+    // 519.lbm_r: lattice Boltzmann — pure streaming, few branches.
+    v.push(SpecProfile {
+        name: "519.lbm_r",
+        class: Fp,
+        params: ProfileParams {
+            branch_entropy: 0.03,
+            loop_trip_mean: 256.0,
+            stride_frac: 0.95,
+            mem_footprint: 1 << 26,
+            load_frac: 0.30,
+            store_frac: 0.14,
+            burst_frac: 0.18,
+            ..base_fp("519.lbm_r", 0x519)
+        },
+    });
+    // 521.wrf_r: weather — many loop nests, mixed behaviour.
+    v.push(SpecProfile {
+        name: "521.wrf_r",
+        class: Fp,
+        params: ProfileParams {
+            num_loop_nests: 6,
+            mem_footprint: 1 << 25,
+            ..base_fp("521.wrf_r", 0x521)
+        },
+    });
+    // 526.blender_r: rendering — branchier, calls, irregular access.
+    v.push(SpecProfile {
+        name: "526.blender_r",
+        class: Fp,
+        params: ProfileParams {
+            branch_entropy: 0.25,
+            call_frac: 0.20,
+            stride_frac: 0.40,
+            chase_frac: 0.20,
+            mem_footprint: 1 << 24,
+            ..base_fp("526.blender_r", 0x526)
+        },
+    });
+    // 527.cam4_r: climate — loop nests, moderate streams.
+    v.push(SpecProfile {
+        name: "527.cam4_r",
+        class: Fp,
+        params: ProfileParams {
+            num_loop_nests: 5,
+            stride_frac: 0.70,
+            mem_footprint: 1 << 25,
+            branch_entropy: 0.15,
+            ..base_fp("527.cam4_r", 0x527)
+        },
+    });
+    // 538.imagick_r: image processing — compute-dense bursts.
+    v.push(SpecProfile {
+        name: "538.imagick_r",
+        class: Fp,
+        params: ProfileParams {
+            burst_frac: 0.40,
+            burst_len: 12,
+            consumer_mean: 2.4,
+            stride_frac: 0.80,
+            mem_footprint: 1 << 23,
+            load_frac: 0.20,
+            ..base_fp("538.imagick_r", 0x538)
+        },
+    });
+    // 544.nab_r: molecular modeling — compute heavy, small footprint.
+    v.push(SpecProfile {
+        name: "544.nab_r",
+        class: Fp,
+        params: ProfileParams {
+            burst_frac: 0.32,
+            consumer_mean: 2.0,
+            mem_footprint: 1 << 22,
+            ..base_fp("544.nab_r", 0x544)
+        },
+    });
+    // 549.fotonik3d_r: FDTD — pure streaming, long trips.
+    v.push(SpecProfile {
+        name: "549.fotonik3d_r",
+        class: Fp,
+        params: ProfileParams {
+            loop_trip_mean: 200.0,
+            stride_frac: 0.92,
+            mem_footprint: 1 << 26,
+            branch_entropy: 0.04,
+            ..base_fp("549.fotonik3d_r", 0x549)
+        },
+    });
+    // 554.roms_r: ocean model — streaming with loop nests.
+    v.push(SpecProfile {
+        name: "554.roms_r",
+        class: Fp,
+        params: ProfileParams {
+            num_loop_nests: 6,
+            loop_trip_mean: 96.0,
+            stride_frac: 0.85,
+            mem_footprint: 1 << 26,
+            ..base_fp("554.roms_r", 0x554)
+        },
+    });
+    v
+}
+
+/// Both suites concatenated (int first), as iterated by the experiment
+/// harness.
+#[must_use]
+pub fn all_profiles() -> Vec<SpecProfile> {
+    let mut v = spec2017_int();
+    v.extend(spec2017_fp());
+    v
+}
+
+/// Looks a profile up by (possibly abbreviated) name, e.g. `"mcf"`.
+#[must_use]
+pub fn find_profile(name: &str) -> Option<SpecProfile> {
+    all_profiles().into_iter().find(|p| p.name.contains(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_counts_match_paper() {
+        assert_eq!(spec2017_int().len(), 10);
+        assert_eq!(spec2017_fp().len(), 13);
+        assert_eq!(all_profiles().len(), 23);
+    }
+
+    #[test]
+    fn names_are_unique_and_suffixed() {
+        let all = all_profiles();
+        let mut names: Vec<&str> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 23);
+        assert!(all.iter().all(|p| p.name.ends_with("_r")));
+    }
+
+    #[test]
+    fn every_profile_builds_a_program() {
+        for p in all_profiles() {
+            let prog = p.build();
+            assert!(prog.len() > 50, "{} produced a trivial program", p.name);
+        }
+    }
+
+    #[test]
+    fn fp_profiles_have_fp_content_and_int_profiles_do_not() {
+        for p in all_profiles() {
+            match p.class {
+                WorkloadClass::Fp => assert!(p.params.fp_frac > 0.5, "{}", p.name),
+                WorkloadClass::Int => assert!(p.params.fp_frac < 0.3, "{}", p.name),
+            }
+        }
+    }
+
+    #[test]
+    fn find_profile_matches_substring() {
+        assert_eq!(find_profile("mcf").unwrap().name, "505.mcf_r");
+        assert_eq!(find_profile("namd").unwrap().name, "508.namd_r");
+        assert!(find_profile("doesnotexist").is_none());
+    }
+
+    #[test]
+    fn profile_seeds_are_distinct() {
+        let all = all_profiles();
+        let mut seeds: Vec<u64> = all.iter().map(|p| p.params.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 23);
+    }
+}

@@ -1,0 +1,114 @@
+//! Wrong-path outcome synthesis.
+//!
+//! After a mispredicted branch, the frontend keeps fetching real static
+//! instructions down the predicted (wrong) path until the branch
+//! resolves — these instructions allocate physical registers, occupy the
+//! ROB/IQ/LSQ, and access the caches, which is exactly the traffic that
+//! stresses ATR's flush-walk double-free avoidance and pollutes the
+//! memory hierarchy.
+//!
+//! Wrong-path instructions have no architectural outcome, so we
+//! synthesize one deterministically from `(pc, wrong-path sequence)`:
+//! branches "resolve" in their predicted direction (so the wrong path
+//! never triggers nested recovery, matching Scarab's trace-based
+//! wrong-path mode), and memory operations get hashed addresses inside a
+//! synthetic region, modeling cache pollution.
+
+use crate::behavior::mix64;
+use atr_isa::{DynOutcome, OpClass, StaticInst};
+
+/// Base address of the synthetic region wrong-path memory ops touch.
+const WRONG_PATH_REGION_BASE: u64 = 0x7f00_0000_0000;
+/// Size of the synthetic wrong-path data region in bytes.
+const WRONG_PATH_REGION_SIZE: u64 = 1 << 22; // 4 MiB
+
+/// Synthesizes an outcome for a wrong-path instance of `inst`.
+///
+/// `predicted_taken` / `predicted_target` are what the frontend's
+/// predictor chose for this instance; the synthesized outcome agrees with
+/// the prediction so the instance resolves "correctly" and is simply
+/// squashed when the original misprediction unwinds.
+///
+/// `salt` should mix the workload seed and a per-instance counter so
+/// distinct wrong-path excursions see distinct addresses.
+#[must_use]
+pub fn synthesize_outcome(
+    inst: &StaticInst,
+    predicted_taken: bool,
+    predicted_target: u64,
+    salt: u64,
+) -> DynOutcome {
+    let mut out = DynOutcome::fallthrough(inst);
+    match inst.class {
+        OpClass::CondBranch => {
+            out.taken = predicted_taken;
+            out.next_pc = if predicted_taken {
+                inst.taken_target.unwrap_or(predicted_target)
+            } else {
+                inst.fallthrough
+            };
+        }
+        OpClass::DirectJump | OpClass::Call => {
+            out.taken = true;
+            out.next_pc = inst.taken_target.expect("direct control flow without target");
+        }
+        OpClass::IndirectJump | OpClass::Return => {
+            out.taken = true;
+            out.next_pc = predicted_target;
+        }
+        OpClass::Load | OpClass::Store => {
+            let h = mix64(inst.pc ^ salt);
+            out.mem_addr = Some(WRONG_PATH_REGION_BASE + ((h % WRONG_PATH_REGION_SIZE) & !7));
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_isa::ArchReg;
+
+    fn r(i: u8) -> ArchReg {
+        ArchReg::int(i)
+    }
+
+    #[test]
+    fn branch_follows_prediction() {
+        let br = StaticInst::cond_branch(0x100, 0x200, &[r(0)]);
+        let t = synthesize_outcome(&br, true, 0, 1);
+        assert!(t.taken);
+        assert_eq!(t.next_pc, 0x200);
+        let nt = synthesize_outcome(&br, false, 0, 1);
+        assert!(!nt.taken);
+        assert_eq!(nt.next_pc, br.fallthrough);
+    }
+
+    #[test]
+    fn indirect_uses_predicted_target() {
+        let ij = StaticInst::new(0x10, OpClass::IndirectJump, None, &[r(1)]);
+        let o = synthesize_outcome(&ij, true, 0xbeef, 2);
+        assert_eq!(o.next_pc, 0xbeef);
+    }
+
+    #[test]
+    fn memory_addresses_are_deterministic_and_salted() {
+        let ld = StaticInst::load(0x40, r(1), r(2));
+        let a = synthesize_outcome(&ld, false, 0, 7).mem_addr.unwrap();
+        let b = synthesize_outcome(&ld, false, 0, 7).mem_addr.unwrap();
+        let c = synthesize_outcome(&ld, false, 0, 8).mem_addr.unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a >= WRONG_PATH_REGION_BASE);
+    }
+
+    #[test]
+    fn alu_falls_through_unchanged() {
+        let alu = StaticInst::alu(0x44, r(0), &[r(1)]);
+        let o = synthesize_outcome(&alu, false, 0, 3);
+        assert_eq!(o.next_pc, alu.fallthrough);
+        assert_eq!(o.mem_addr, None);
+        assert_eq!(o.exception, None);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests over the program generator: any parameter point
+//! must yield a closed, deterministic, well-formed program whose oracle
+//! stream never derails.
+
+use atr_workload::{Oracle, ProfileParams};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = ProfileParams> {
+    (
+        any::<u64>(),
+        0.0f64..0.9,
+        0.05f64..0.35,
+        0.0f64..0.15,
+        0.0f64..1.0,
+        2.0f64..128.0,
+        (0.0f64..1.0, 0.0f64..0.5),
+        (0.0f64..0.6, 2u32..16, 2u32..6, 0.0f64..0.5),
+        (0.0f64..0.4, 0.0f64..0.15),
+        (1u32..6, 2u32..8, 3u32..14),
+    )
+        .prop_map(
+            |(
+                seed,
+                fp_frac,
+                load_frac,
+                store_frac,
+                branch_entropy,
+                loop_trip_mean,
+                (stride_frac, chase_frac_raw),
+                (burst_frac, burst_len, burst_window, burst_hazard),
+                (call_frac, indirect_frac),
+                (num_loop_nests, blocks_per_nest, avg_block_len),
+            )| {
+                ProfileParams {
+                    name: "prop".to_owned(),
+                    seed,
+                    fp_frac,
+                    load_frac,
+                    store_frac,
+                    mul_frac: 0.04,
+                    div_frac: 0.003,
+                    branch_entropy,
+                    loop_trip_mean,
+                    mem_footprint: 1 << 22,
+                    stride_frac,
+                    chase_frac: chase_frac_raw * (1.0 - stride_frac),
+                    burst_frac,
+                    burst_len,
+                    burst_window,
+                    consumer_mean: 1.8,
+                    burst_hazard,
+                    call_frac,
+                    indirect_frac,
+                    num_loop_nests,
+                    blocks_per_nest,
+                    avg_block_len,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_parameter_point_builds_a_closed_program(params in params_strategy()) {
+        let program = params.build();
+        prop_assert!(program.len() > 10);
+        // Walk 30k dynamic instructions: the oracle must never fall off
+        // the program (panics otherwise), and indices stay consistent.
+        let mut oracle = Oracle::new(program);
+        for i in 0..30_000u64 {
+            let d = *oracle.get(i);
+            prop_assert_eq!(d.oracle_idx, i);
+            prop_assert!(!d.on_wrong_path);
+            if i % 4096 == 0 {
+                oracle.release_before(i.saturating_sub(512));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_params(params in params_strategy()) {
+        let a = params.build();
+        let b = params.build();
+        prop_assert_eq!(a.instructions(), b.instructions());
+    }
+
+    #[test]
+    fn oracle_streams_replay_identically(params in params_strategy()) {
+        let program = params.build();
+        let mut a = Oracle::new(program.clone());
+        let mut b = Oracle::new(program);
+        for i in 0..5_000u64 {
+            prop_assert_eq!(a.get(i), b.get(i));
+        }
+    }
+
+    #[test]
+    fn every_memory_op_gets_an_address(params in params_strategy()) {
+        let program = params.build();
+        let mut oracle = Oracle::new(program);
+        for i in 0..10_000u64 {
+            let d = *oracle.get(i);
+            if d.sinst.class.is_memory() {
+                prop_assert!(d.outcome.mem_addr.is_some());
+            } else {
+                prop_assert!(d.outcome.mem_addr.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn control_flow_targets_are_real_instructions(params in params_strategy()) {
+        let program = params.build();
+        let mut oracle = Oracle::new(program.clone());
+        for i in 0..10_000u64 {
+            let d = *oracle.get(i);
+            prop_assert!(
+                program.at(d.outcome.next_pc).is_some(),
+                "next pc {:#x} is not an instruction", d.outcome.next_pc
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build a workload, run all four register-release schemes,
+//! and print their IPC and release breakdowns.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use atr::core::ReleaseScheme;
+use atr::pipeline::{CoreConfig, OooCore};
+use atr::workload::{spec, Oracle};
+
+fn main() {
+    // 1. Pick a workload. The suite models every SPEC CPU 2017 benchmark
+    //    of the paper's Table 2; `find_profile` matches substrings.
+    let profile = spec::find_profile("x264").expect("x264 profile exists");
+    let program = profile.build();
+    println!("workload: {} ({} static instructions)\n", profile.name, program.len());
+
+    // 2. Run each scheme on the paper's Golden-Cove-like core with a
+    //    small 64-entry register file, where release policy matters most.
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "IPC", "commit", "precommit", "atomic", "flush"
+    );
+    let mut baseline_ipc = None;
+    for scheme in ReleaseScheme::ALL {
+        let cfg = CoreConfig::default().with_rf_size(64).with_scheme(scheme);
+        let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
+        let stats = core.run(200_000);
+        let ipc = stats.ipc();
+        baseline_ipc.get_or_insert(ipc);
+        println!(
+            "{:<12} {:>8.3} {:>10} {:>10} {:>10} {:>10}   ({:+.2}% vs baseline)",
+            scheme.label(),
+            ipc,
+            stats.int_prf.released_commit,
+            stats.int_prf.released_precommit,
+            stats.int_prf.released_atomic,
+            stats.int_prf.released_flush,
+            (ipc / baseline_ipc.unwrap() - 1.0) * 100.0,
+        );
+    }
+
+    println!(
+        "\nThe atomic scheme frees registers out of order inside atomic commit\n\
+         regions (no branch, load, store, or divide between allocation and\n\
+         redefinition); combined adds non-speculative early release outside them."
+    );
+}

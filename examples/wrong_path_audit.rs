@@ -1,0 +1,61 @@
+//! Wrong-path audit: demonstrates the machinery that makes ATR safe —
+//! wrong-path register allocation, the §4.2.4 flush-walk double-free
+//! avoidance, and the §4.1 interrupt modes — live on a branchy workload.
+//!
+//! ```sh
+//! cargo run --release --example wrong_path_audit
+//! ```
+
+use atr::core::ReleaseScheme;
+use atr::pipeline::{CoreConfig, InterruptMode, OooCore};
+use atr::workload::{spec, Oracle};
+
+fn main() {
+    let profile = spec::find_profile("deepsjeng").expect("profile exists");
+    let cfg = CoreConfig::default()
+        .with_rf_size(96)
+        .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
+    let mut core = OooCore::new(cfg, Oracle::new(profile.build()));
+
+    println!("running {} under ATR with heavy misprediction...\n", profile.name);
+    let stats = core.run(300_000);
+
+    println!("speculation traffic:");
+    println!("  fetched               {:>9}", stats.fetched);
+    println!("  wrong-path fetched    {:>9}  ({:.1}% of fetch bandwidth)",
+        stats.wrong_path_fetched,
+        stats.wrong_path_fetched as f64 / stats.fetched as f64 * 100.0);
+    println!("  wrong-path renamed    {:>9}  (these allocate registers!)", stats.wrong_path_renamed);
+    println!("  flushes               {:>9}", stats.flushes);
+    println!("  cond mispredict rate  {:>8.2}%", stats.mispredict_rate() * 100.0);
+
+    println!("\nregister release audit (integer file):");
+    println!("  allocations             {:>9}", stats.int_prf.allocations);
+    println!("  released at commit      {:>9}", stats.int_prf.released_commit);
+    println!("  released by ATR         {:>9}", stats.int_prf.released_atomic);
+    println!("  reclaimed by flush walk {:>9}", stats.int_prf.released_flush);
+    println!(
+        "  double frees avoided    {:>9}  <- §4.2.4 walk skipping ATR-released registers",
+        stats.int_prf.flush_double_free_avoided
+    );
+    assert_eq!(
+        stats.int_prf.allocations,
+        stats.int_prf.total_released()
+            + (core.renamer().occupancy(atr::isa::RegClass::Int)
+                - atr::isa::NUM_INT_ARCH_REGS) as u64,
+        "every allocation is released exactly once (modulo live registers)"
+    );
+    println!("\n  every allocation accounted for exactly once ✓");
+
+    // §4.1: interrupts. Drain mode needs no ATR support; flush mode
+    // waits for the open-claim counter to reach zero.
+    core.request_interrupt(InterruptMode::Drain);
+    let s1 = core.run(50_000);
+    println!("\ninterrupts:");
+    println!("  drain-mode serviced      {:>8}", s1.interrupts);
+    core.request_interrupt(InterruptMode::FlushAtRegionBoundary);
+    let s2 = core.run(50_000);
+    println!("  flush-mode serviced      {:>8}  (waited {} cycles for open atomic claims)",
+        s2.interrupts - s1.interrupts, s2.interrupt_wait_cycles);
+    println!("\nexecution continued correctly after both; register state intact ✓");
+}
