@@ -9,7 +9,7 @@ use atr_isa::RegClass;
 /// regions with exactly `i` consumers; the last bucket aggregates
 /// everything at or above it (the paper's 3-bit counter reserves 7, so
 /// `>= 7` consumers force no-early-release).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConsumerHistogram {
     /// Fraction of regions per consumer count; last bucket is `>=`.
     pub buckets: Vec<f64>,

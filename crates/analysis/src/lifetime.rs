@@ -14,7 +14,7 @@ use atr_isa::RegClass;
 ///   (speculative early release window — unsafe without shadow storage),
 /// * **verified-unused** from precommit to commit (the non-speculative
 ///   early release window).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LifecycleBreakdown {
     /// Fraction of lifetime cycles the register was genuinely live.
     pub in_use: f64,
@@ -38,11 +38,9 @@ pub fn lifecycle_breakdown(records: &[RegLifetime], class: RegClass) -> Lifecycl
     let mut verified = 0u64;
     let mut samples = 0u64;
     for r in records.iter().filter(|r| r.class == class && !r.wrong_path) {
-        let (Some(redefine), Some(precommit), Some(commit)) = (
-            r.redefine_cycle,
-            r.redefiner_precommit_cycle,
-            r.redefiner_commit_cycle,
-        ) else {
+        let (Some(redefine), Some(precommit), Some(commit)) =
+            (r.redefine_cycle, r.redefiner_precommit_cycle, r.redefiner_commit_cycle)
+        else {
             continue;
         };
         let last_use = r.last_consume_cycle.unwrap_or(r.alloc_cycle).max(redefine);
@@ -65,7 +63,7 @@ pub fn lifecycle_breakdown(records: &[RegLifetime], class: RegClass) -> Lifecycl
 }
 
 /// Mean cycle gaps inside atomic commit regions (Fig 14).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegionGaps {
     /// Mean cycles from rename to redefinition.
     pub rename_to_redefine: f64,

@@ -29,7 +29,7 @@ impl Default for BulkReleaseLogic {
 }
 
 /// Gate count and critical-path estimate.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogicReport {
     /// Two-input-equivalent gates.
     pub gates: u64,
@@ -104,9 +104,9 @@ impl BulkReleaseLogic {
         //    bit + AND tree, then an OR across lanes, then the
         //    register/enable AND.
         let cmp_gates_per_pair = (self.ptag_bits + (self.ptag_bits - 1)) as u64;
-        let match_gates =
-            (self.srt_entries * n) as u64 * cmp_gates_per_pair + self.srt_entries as u64 * or_full
-                + self.srt_entries as u64;
+        let match_gates = (self.srt_entries * n) as u64 * cmp_gates_per_pair
+            + self.srt_entries as u64 * or_full
+            + self.srt_entries as u64;
         let match_levels = 1 + self.ptag_bits as u32 + n as u32 / 2 + 2;
 
         let gates = decode_gates + srt_mask_gates + group_mask_gates + mask_and_gates + match_gates;

@@ -20,7 +20,7 @@
 use atr_isa::RegClass;
 
 /// Core power/area estimate.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerReport {
     /// Register-file dynamic + leakage power (arbitrary units).
     pub rf_power: f64,

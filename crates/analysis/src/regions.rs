@@ -5,7 +5,7 @@ use atr_isa::RegClass;
 
 /// Fractions of allocated registers whose rename→redefine span satisfies
 /// each region property of Fig 6.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegionRatios {
     /// No conditional branch or indirect jump in the region.
     pub non_branch: f64,
@@ -35,10 +35,7 @@ pub fn region_ratios(
     let mut non_except = 0u64;
     let mut atomic = 0u64;
     let mut samples = 0u64;
-    for r in records
-        .iter()
-        .filter(|r| r.class == class && (include_wrong_path || !r.wrong_path))
-    {
+    for r in records.iter().filter(|r| r.class == class && (include_wrong_path || !r.wrong_path)) {
         samples += 1;
         if r.is_non_branch() {
             non_branch += 1;

@@ -3,19 +3,14 @@
 //! and checkpoint-vs-walk SRT recovery — the ablations DESIGN.md calls
 //! out for the design choices of §4.2.
 
-use atr_core::{
-    CheckpointPolicy, RenameConfig, RenamedUop, Renamer, ReleaseScheme,
-};
+use atr_bench::timing::bench;
+use atr_core::{CheckpointPolicy, ReleaseScheme, RenameConfig, RenamedUop, Renamer};
 use atr_isa::{ArchReg, StaticInst};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const SAMPLES: usize = 20;
 
 fn cfg(scheme: ReleaseScheme) -> RenameConfig {
-    RenameConfig {
-        scheme,
-        int_prf_size: 224,
-        fp_prf_size: 224,
-        ..RenameConfig::default()
-    }
+    RenameConfig { scheme, int_prf_size: 224, fp_prf_size: 224, ..RenameConfig::default() }
 }
 
 /// A short instruction mix: compute, a load, a branch — the worst case
@@ -32,143 +27,98 @@ fn mix() -> Vec<StaticInst> {
     ]
 }
 
-fn bench_rename_throughput(c: &mut Criterion) {
+fn main() {
+    println!("rename-stage microbenchmarks\n");
     let insts = mix();
-    let mut group = c.benchmark_group("rename_stage");
-    group.throughput(Throughput::Elements(insts.len() as u64 * 64));
+
     for scheme in ReleaseScheme::ALL {
-        group.bench_with_input(BenchmarkId::new("scheme", scheme.label()), &scheme, |b, &s| {
-            b.iter_batched(
-                || Renamer::new(&cfg(s)),
-                |mut renamer| {
-                    let mut uops: Vec<RenamedUop> = Vec::with_capacity(64 * insts.len());
-                    let mut seq = 0u64;
-                    for round in 0..64u64 {
-                        for inst in &insts {
-                            let uop = renamer.rename(inst, seq, round, false);
-                            renamer.on_issue(&uop.psrcs, round);
-                            uops.push(uop);
-                            seq += 1;
-                        }
-                        // Retire the round to keep the free list alive.
-                        for uop in uops.drain(..) {
-                            renamer.on_commit(&uop, round);
-                        }
+        let insts = insts.clone();
+        bench(
+            &format!("rename_stage/scheme={}", scheme.label()),
+            SAMPLES,
+            insts.len() as u64 * 64,
+            move || {
+                let mut renamer = Renamer::new(&cfg(scheme));
+                let mut uops: Vec<RenamedUop> = Vec::with_capacity(64 * insts.len());
+                let mut seq = 0u64;
+                for round in 0..64u64 {
+                    for inst in &insts {
+                        let uop = renamer.rename(inst, seq, round, false);
+                        renamer.on_issue(&uop.psrcs, round);
+                        uops.push(uop);
+                        seq += 1;
                     }
-                    renamer
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+                    // Retire the round to keep the free list alive.
+                    for uop in uops.drain(..) {
+                        renamer.on_commit(&uop, round);
+                    }
+                }
+                renamer
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_flush_walk(c: &mut Criterion) {
-    let insts = mix();
-    let mut group = c.benchmark_group("flush_walk");
     for depth in [32usize, 256] {
-        group.bench_with_input(BenchmarkId::new("squashed", depth), &depth, |b, &depth| {
-            b.iter_batched(
-                || {
-                    // Rename `depth` instructions behind a branch, half issued.
-                    let mut renamer = Renamer::new(&cfg(ReleaseScheme::Atr { redefine_delay: 0 }));
-                    let mut records = Vec::new();
-                    for k in 0..depth as u64 {
-                        let inst = insts[(k as usize) % insts.len()];
-                        let uop = renamer.rename(&inst, k, k, false);
-                        let issued = k % 2 == 0;
-                        if issued {
-                            renamer.on_issue(&uop.psrcs, k);
-                        }
-                        records.push(uop.flush_record(&inst, issued));
-                    }
-                    records.reverse();
-                    (renamer, records)
-                },
-                |(mut renamer, records)| {
-                    renamer.flush_walk(&records, 1_000);
-                    renamer
-                },
-                criterion::BatchSize::SmallInput,
-            );
+        let insts = insts.clone();
+        bench(&format!("flush_walk/squashed={depth}"), SAMPLES, depth as u64, move || {
+            // Rename `depth` instructions behind a branch, half issued.
+            let mut renamer = Renamer::new(&cfg(ReleaseScheme::Atr { redefine_delay: 0 }));
+            let mut records = Vec::new();
+            for k in 0..depth as u64 {
+                let inst = insts[(k as usize) % insts.len()];
+                let uop = renamer.rename(&inst, k, k, false);
+                let issued = k % 2 == 0;
+                if issued {
+                    renamer.on_issue(&uop.psrcs, k);
+                }
+                records.push(uop.flush_record(&inst, issued));
+            }
+            records.reverse();
+            renamer.flush_walk(&records, 1_000);
+            renamer
         });
     }
-    group.finish();
-}
 
-fn bench_srt_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("srt_recovery");
-    let renamer = Renamer::new(&cfg(ReleaseScheme::Baseline));
-    let checkpoint = renamer.take_checkpoint();
-    group.bench_function("checkpoint_restore", |b| {
-        b.iter_batched(
-            || Renamer::new(&cfg(ReleaseScheme::Baseline)),
-            |mut r| {
-                r.restore_checkpoint(&checkpoint);
-                r
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    let checkpoint = Renamer::new(&cfg(ReleaseScheme::Baseline)).take_checkpoint();
+    bench("srt_recovery/checkpoint_restore", SAMPLES, 0, move || {
+        let mut r = Renamer::new(&cfg(ReleaseScheme::Baseline));
+        r.restore_checkpoint(&checkpoint);
+        r
     });
-    group.bench_function("committed_walk_restore_64", |b| {
-        let survivors: Vec<(ArchReg, atr_core::PTag)> = (0..64u32)
-            .map(|i| {
-                (
-                    ArchReg::int((i % 16) as u8),
-                    atr_core::PTag::new(atr_isa::RegClass::Int, 16 + (i % 200)),
-                )
-            })
-            .collect();
-        b.iter_batched(
-            || Renamer::new(&cfg(ReleaseScheme::Baseline)),
-            |mut r| {
-                r.restore_from_committed(survivors.iter().copied());
-                r
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    let survivors: Vec<(ArchReg, atr_core::PTag)> = (0..64u32)
+        .map(|i| {
+            (
+                ArchReg::int((i % 16) as u8),
+                atr_core::PTag::new(atr_isa::RegClass::Int, 16 + (i % 200)),
+            )
+        })
+        .collect();
+    bench("srt_recovery/committed_walk_restore_64", SAMPLES, 64, move || {
+        let mut r = Renamer::new(&cfg(ReleaseScheme::Baseline));
+        r.restore_from_committed(survivors.iter().copied());
+        r
     });
     let _ = CheckpointPolicy::EveryBranch;
-    group.finish();
-}
 
-fn bench_counter_width(c: &mut Criterion) {
     // §5.4 ablation: counter width does not change rename cost, only
     // release opportunity — this measures that the mechanism itself is
     // width-insensitive.
-    let insts = mix();
-    let mut group = c.benchmark_group("counter_width");
     for width in [2u32, 3, 8] {
-        group.bench_with_input(BenchmarkId::new("bits", width), &width, |b, &w| {
+        let insts = insts.clone();
+        bench(&format!("counter_width/bits={width}"), SAMPLES, 128, move || {
             let mut config = cfg(ReleaseScheme::Atr { redefine_delay: 0 });
-            config.counter_width = w;
-            b.iter_batched(
-                || Renamer::new(&config),
-                |mut renamer| {
-                    let mut uops = Vec::new();
-                    for (k, inst) in insts.iter().cycle().take(128).enumerate() {
-                        let uop = renamer.rename(inst, k as u64, k as u64, false);
-                        renamer.on_issue(&uop.psrcs, k as u64);
-                        uops.push(uop);
-                    }
-                    for uop in uops {
-                        renamer.on_commit(&uop, 1_000);
-                    }
-                    renamer
-                },
-                criterion::BatchSize::SmallInput,
-            );
+            config.counter_width = width;
+            let mut renamer = Renamer::new(&config);
+            let mut uops = Vec::new();
+            for (k, inst) in insts.iter().cycle().take(128).enumerate() {
+                let uop = renamer.rename(inst, k as u64, k as u64, false);
+                renamer.on_issue(&uop.psrcs, k as u64);
+                uops.push(uop);
+            }
+            for uop in uops {
+                renamer.on_commit(&uop, 1_000);
+            }
+            renamer
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_rename_throughput,
-    bench_flush_walk,
-    bench_srt_recovery,
-    bench_counter_width
-);
-criterion_main!(benches);

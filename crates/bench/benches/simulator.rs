@@ -2,74 +2,47 @@
 //! register-file size — the cost of the mechanisms themselves, as
 //! opposed to the IPC experiments in `src/bin/`.
 
+use atr_bench::timing::bench;
 use atr_core::ReleaseScheme;
 use atr_pipeline::{CoreConfig, OooCore};
 use atr_workload::{spec, Oracle};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const INSTS: u64 = 20_000;
+const SAMPLES: usize = 10;
 
-fn bench_schemes(c: &mut Criterion) {
+fn main() {
+    println!("simulator throughput ({INSTS} instructions per sample)\n");
+
     let program = spec::find_profile("exchange2").expect("profile").build();
-    let mut group = c.benchmark_group("simulate_20k_insts");
-    group.throughput(Throughput::Elements(INSTS));
-    group.sample_size(10);
     for scheme in ReleaseScheme::ALL {
-        group.bench_with_input(BenchmarkId::new("scheme", scheme.label()), &scheme, |b, &s| {
-            b.iter(|| {
-                let cfg = CoreConfig::default().with_rf_size(128).with_scheme(s);
-                let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
-                core.run(INSTS)
-            });
+        let program = program.clone();
+        bench(&format!("simulate/scheme={}", scheme.label()), SAMPLES, INSTS, move || {
+            let cfg = CoreConfig::default().with_rf_size(128).with_scheme(scheme);
+            let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
+            core.run(INSTS)
         });
     }
-    group.finish();
-}
 
-fn bench_rf_sizes(c: &mut Criterion) {
     let program = spec::find_profile("x264").expect("profile").build();
-    let mut group = c.benchmark_group("simulate_rf_size");
-    group.throughput(Throughput::Elements(INSTS));
-    group.sample_size(10);
     for rf in [64usize, 224] {
-        group.bench_with_input(BenchmarkId::new("rf", rf), &rf, |b, &rf| {
-            b.iter(|| {
-                let cfg = CoreConfig::default()
-                    .with_rf_size(rf)
-                    .with_scheme(ReleaseScheme::Combined { redefine_delay: 0 });
-                let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
-                core.run(INSTS)
-            });
+        let program = program.clone();
+        bench(&format!("simulate/rf={rf}"), SAMPLES, INSTS, move || {
+            let cfg = CoreConfig::default()
+                .with_rf_size(rf)
+                .with_scheme(ReleaseScheme::Combined { redefine_delay: 0 });
+            let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
+            core.run(INSTS)
         });
     }
-    group.finish();
-}
 
-fn bench_event_collection_overhead(c: &mut Criterion) {
     let program = spec::find_profile("gcc").expect("profile").build();
-    let mut group = c.benchmark_group("lifetime_log_overhead");
-    group.sample_size(10);
     for events in [false, true] {
-        group.bench_with_input(
-            BenchmarkId::new("collect_events", events),
-            &events,
-            |b, &ev| {
-                b.iter(|| {
-                    let mut cfg = CoreConfig::default().with_rf_size(128);
-                    cfg.rename.collect_events = ev;
-                    let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
-                    core.run(INSTS)
-                });
-            },
-        );
+        let program = program.clone();
+        bench(&format!("lifetime_log/collect_events={events}"), SAMPLES, INSTS, move || {
+            let mut cfg = CoreConfig::default().with_rf_size(128);
+            cfg.rename.collect_events = events;
+            let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
+            core.run(INSTS)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_schemes,
-    bench_rf_sizes,
-    bench_event_collection_overhead
-);
-criterion_main!(benches);

@@ -1,122 +1,83 @@
 //! Substrate microbenchmarks: branch prediction, cache hierarchy, and
 //! oracle-stream generation throughput.
 
+use atr_bench::timing::bench;
 use atr_frontend::{Bpu, BpuConfig, DirectionPredictor, GlobalHistory, PredictorKind, Tage};
 use atr_isa::{ArchReg, StaticInst};
 use atr_mem::{AccessKind, MemConfig, MemoryHierarchy};
 use atr_workload::{spec, Oracle};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut group = c.benchmark_group("direction_predictors");
-    group.throughput(Throughput::Elements(10_000));
+const SAMPLES: usize = 10;
+
+fn main() {
+    println!("substrate microbenchmarks\n");
+
     for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Tage] {
-        group.bench_with_input(
-            BenchmarkId::new("predict_update", format!("{kind:?}")),
-            &kind,
-            |b, &kind| {
-                let cfg = BpuConfig { kind, ..BpuConfig::default() };
-                let mut bpu = Bpu::new(&cfg);
-                let br = StaticInst::cond_branch(0x400, 0x800, &[ArchReg::int(0)]);
-                b.iter(|| {
-                    for i in 0..10_000u64 {
-                        let p = bpu.predict(&br);
-                        let taken = i % 3 != 0;
-                        bpu.train(&br, &p.snapshot, taken, if taken { 0x800 } else { br.fallthrough });
-                        if p.taken != taken {
-                            bpu.recover(&br, &p.snapshot, taken, if taken { 0x800 } else { br.fallthrough });
-                        }
-                    }
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_tage_lookup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tage");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("predict_only", |b| {
-        let mut tage = Tage::default_config();
-        let mut hist = GlobalHistory::new();
-        for i in 0..1_000u64 {
-            tage.update(i * 4, &hist, i % 2 == 0);
-            hist.push(i % 2 == 0);
-        }
-        b.iter(|| {
-            let mut acc = 0u64;
+        let config = BpuConfig { kind, ..BpuConfig::default() };
+        let mut bpu = Bpu::new(&config);
+        let br = StaticInst::cond_branch(0x400, 0x800, &[ArchReg::int(0)]);
+        bench(&format!("predict_update/{kind:?}"), SAMPLES, 10_000, move || {
             for i in 0..10_000u64 {
-                acc += u64::from(tage.predict(i * 4, &hist));
-            }
-            acc
-        });
-    });
-    group.finish();
-}
-
-fn bench_memory_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memory_hierarchy");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("l1_hit_stream", |b| {
-        let mut mem = MemoryHierarchy::new(&MemConfig::golden_cove());
-        // Warm a small set.
-        for i in 0..64u64 {
-            let _ = mem.access(AccessKind::Load, 0x1000 + i * 64, i);
-        }
-        b.iter(|| {
-            let mut t = 1_000u64;
-            for i in 0..10_000u64 {
-                t = mem.access(AccessKind::Load, 0x1000 + (i % 64) * 64, t);
-            }
-            t
-        });
-    });
-    group.bench_function("dram_miss_stream", |b| {
-        b.iter_batched(
-            || MemoryHierarchy::new(&MemConfig::golden_cove()),
-            |mut mem| {
-                let mut t = 0u64;
-                for i in 0..10_000u64 {
-                    t = mem.access(AccessKind::Load, i * 64 * 131, t.min(i * 4));
+                let p = bpu.predict(&br);
+                let taken = i % 3 != 0;
+                bpu.train(&br, &p.snapshot, taken, if taken { 0x800 } else { br.fallthrough });
+                if p.taken != taken {
+                    bpu.recover(
+                        &br,
+                        &p.snapshot,
+                        taken,
+                        if taken { 0x800 } else { br.fallthrough },
+                    );
                 }
-                (mem, t)
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
-
-fn bench_oracle_stream(c: &mut Criterion) {
-    let mut group = c.benchmark_group("oracle");
-    group.throughput(Throughput::Elements(50_000));
-    for name in ["exchange2", "omnetpp"] {
-        group.bench_with_input(BenchmarkId::new("generate", name), &name, |b, name| {
-            let program = spec::find_profile(name).expect("profile").build();
-            b.iter_batched(
-                || Oracle::new(program.clone()),
-                |mut oracle| {
-                    for i in 0..50_000u64 {
-                        let _ = oracle.get(i);
-                        if i % 1024 == 0 {
-                            oracle.release_before(i.saturating_sub(512));
-                        }
-                    }
-                    oracle
-                },
-                criterion::BatchSize::SmallInput,
-            );
+            }
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_predictors,
-    bench_tage_lookup,
-    bench_memory_hierarchy,
-    bench_oracle_stream
-);
-criterion_main!(benches);
+    let mut tage = Tage::default_config();
+    let mut hist = GlobalHistory::new();
+    for i in 0..1_000u64 {
+        tage.update(i * 4, &hist, i % 2 == 0);
+        hist.push(i % 2 == 0);
+    }
+    bench("tage/predict_only", SAMPLES, 10_000, move || {
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc += u64::from(tage.predict(i * 4, &hist));
+        }
+        acc
+    });
+
+    let mut warm = MemoryHierarchy::new(&MemConfig::golden_cove());
+    for i in 0..64u64 {
+        let _ = warm.access(AccessKind::Load, 0x1000 + i * 64, i);
+    }
+    bench("memory_hierarchy/l1_hit_stream", SAMPLES, 10_000, move || {
+        let mut t = 1_000u64;
+        for i in 0..10_000u64 {
+            t = warm.access(AccessKind::Load, 0x1000 + (i % 64) * 64, t);
+        }
+        t
+    });
+    bench("memory_hierarchy/dram_miss_stream", SAMPLES, 10_000, || {
+        let mut mem = MemoryHierarchy::new(&MemConfig::golden_cove());
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            t = mem.access(AccessKind::Load, i * 64 * 131, t.min(i * 4));
+        }
+        t
+    });
+
+    for name in ["exchange2", "omnetpp"] {
+        let program = spec::find_profile(name).expect("profile").build();
+        bench(&format!("oracle/generate/{name}"), SAMPLES, 50_000, move || {
+            let mut oracle = Oracle::new(program.clone());
+            for i in 0..50_000u64 {
+                let _ = oracle.get(i);
+                if i % 1024 == 0 {
+                    oracle.release_before(i.saturating_sub(512));
+                }
+            }
+            oracle
+        });
+    }
+}

@@ -2,28 +2,29 @@
 //! elimination composed with ATR, and the §5.4 consumer-counter width
 //! study as an IPC sweep.
 
+use atr_bench::driver;
 use atr_sim::experiments::{ablation_counter_width, ablation_move_elimination};
-use atr_sim::report::{render_table, save_json};
-use atr_sim::SimConfig;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
+    let sim = driver::sim();
     let mut rows = ablation_move_elimination(&sim);
     rows.extend(ablation_counter_width(&sim));
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
+    driver::emit(
+        "ablations",
+        "Ablations (ATR @64 registers, int suite)",
+        &["study", "variant", "relative IPC"],
+        &rows,
+        |r| {
             vec![
                 r.study.clone(),
                 r.variant.clone(),
                 format!("{:+.2}%", (r.relative_ipc - 1.0) * 100.0),
             ]
-        })
-        .collect();
-    println!("Ablations (ATR @64 registers, int suite)\n");
-    print!("{}", render_table(&["study", "variant", "relative IPC"], &table));
-    println!("\npaper: §5.4 says 3-bit counters lose nothing; §6 says move\nelimination composes with ATR.");
-    if let Ok(path) = save_json("ablations", &rows) {
-        println!("saved {}", path.display());
-    }
+        },
+        Some(
+            "paper: §5.4 says 3-bit counters lose nothing; §6 says move\n\
+             elimination composes with ATR."
+                .to_owned(),
+        ),
+    );
 }

@@ -1,24 +1,34 @@
 //! Runs every experiment in DESIGN.md's index and writes
 //! `results/*.json` plus a combined summary to stdout.
 //!
+//! This is the run-matrix engine's showcase pass: the union of every
+//! figure's points is ensured **once** on a shared
+//! [`atr_sim::RunMatrix`], so the baselines that fig01/fig10/fig11/
+//! fig15 and the analysis figures share simulate exactly once, in
+//! parallel (`ATR_SIM_THREADS` workers), and each figure is then
+//! assembled from the cache for free.
+//!
 //! Budget control: `ATR_SIM_WARMUP` / `ATR_SIM_INSTS` (per measured
 //! window). A full pass at the default budget takes tens of minutes.
 
 use atr_analysis::{BulkReleaseLogic, CorePowerModel};
+use atr_bench::driver;
 use atr_sim::experiments as exp;
 use atr_sim::report::{gain, pct, save_json};
-use atr_sim::SimConfig;
+use atr_sim::RunMatrix;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    println!(
-        "running all experiments (warmup {}, measure {}) ...",
-        sim.warmup, sim.measure
-    );
+    let sim = driver::sim();
+    println!("running all experiments (warmup {}, measure {}) ...", sim.warmup, sim.measure);
 
     let t0 = std::time::Instant::now();
 
-    let fig01 = exp::fig01(&sim);
+    // One shared matrix: declare everything, simulate the unique subset.
+    let mut matrix = RunMatrix::new();
+    matrix.ensure(&sim.core, &exp::full_pass_points(&sim));
+    println!("[{:>5.0?}] matrix: {}", t0.elapsed(), matrix.summary());
+
+    let fig01 = exp::fig01_assemble(&sim, &matrix);
     let _ = save_json("fig01", &fig01);
     println!(
         "[{:>5.0?}] fig01: avg normalized IPC @64 = {} (paper 37.7%)",
@@ -26,7 +36,7 @@ fn main() {
         pct(exp::fig01_average(&fig01, 64))
     );
 
-    let fig04 = exp::fig04(&sim);
+    let fig04 = exp::fig04_assemble(&sim, &matrix);
     let _ = save_json("fig04", &fig04);
     for r in fig04.iter().filter(|r| r.benchmark.starts_with("average")) {
         println!(
@@ -39,7 +49,7 @@ fn main() {
         );
     }
 
-    let fig06 = exp::fig06(&sim);
+    let fig06 = exp::fig06_assemble(&sim, &matrix);
     let _ = save_json("fig06", &fig06);
     for r in fig06.iter().filter(|r| r.benchmark.starts_with("average")) {
         println!(
@@ -50,7 +60,7 @@ fn main() {
         );
     }
 
-    let fig10 = exp::fig10(&sim);
+    let fig10 = exp::fig10_assemble(&sim, &matrix, &[64, 224]);
     let _ = save_json("fig10", &fig10);
     for r in fig10.iter().filter(|r| r.benchmark.starts_with("average")) {
         println!(
@@ -63,13 +73,13 @@ fn main() {
         );
     }
 
-    let fig11 = exp::fig11(&sim);
+    let fig11 = exp::fig11_assemble(&sim, &matrix);
     let _ = save_json("fig11", &fig11);
     for r in &fig11 {
         println!("[{:>5.0?}] fig11 {} @{}: {}", t0.elapsed(), r.class, r.rf_size, gain(r.speedup));
     }
 
-    let fig12 = exp::fig12(&sim);
+    let fig12 = exp::fig12_assemble(&sim, &matrix);
     let _ = save_json("fig12", &fig12);
     let mean_all: f64 = fig12.iter().map(|r| r.mean).sum::<f64>() / fig12.len() as f64;
     let namd = fig12.iter().find(|r| r.benchmark.contains("namd"));
@@ -80,17 +90,21 @@ fn main() {
         namd.map_or(0.0, |r| r.mean)
     );
 
-    let fig13 = exp::fig13(&sim);
+    let fig13 = exp::fig13_assemble(&sim, &matrix);
     let _ = save_json("fig13", &fig13);
     for r in &fig13 {
-        println!("[{:>5.0?}] fig13 {} delay={}: {}", t0.elapsed(), r.class, r.delay, gain(r.speedup));
+        println!(
+            "[{:>5.0?}] fig13 {} delay={}: {}",
+            t0.elapsed(),
+            r.class,
+            r.delay,
+            gain(r.speedup)
+        );
     }
 
-    let fig14 = exp::fig14(&sim);
+    let fig14 = exp::fig14_assemble(&sim, &matrix);
     let _ = save_json("fig14", &fig14);
-    let avg = |f: fn(&exp::Fig14Row) -> f64| {
-        fig14.iter().map(f).sum::<f64>() / fig14.len() as f64
-    };
+    let avg = |f: fn(&exp::Fig14Row) -> f64| fig14.iter().map(f).sum::<f64>() / fig14.len() as f64;
     println!(
         "[{:>5.0?}] fig14: redefine {:.1}cy, consume {:.1}cy, commit {:.1}cy after rename",
         t0.elapsed(),
@@ -99,7 +113,7 @@ fn main() {
         avg(|r| r.rename_to_commit)
     );
 
-    let fig15 = exp::fig15(&sim, 0.03, 8);
+    let fig15 = exp::fig15_assemble(&sim, &matrix, 0.03, 8);
     let _ = save_json("fig15", &fig15);
     let model = CorePowerModel::default();
     let base = model.estimate(280, 280);
@@ -116,6 +130,19 @@ fn main() {
         );
     }
 
+    let mut ablations = exp::ablation_move_elimination_assemble(&sim, &matrix);
+    ablations.extend(exp::ablation_counter_width_assemble(&sim, &matrix));
+    let _ = save_json("ablations", &ablations);
+    for r in &ablations {
+        println!(
+            "[{:>5.0?}] ablation {} {}: {:+.2}%",
+            t0.elapsed(),
+            r.study,
+            r.variant,
+            (r.relative_ipc - 1.0) * 100.0
+        );
+    }
+
     let logic = BulkReleaseLogic::default().report();
     println!(
         "[{:>5.0?}] §4.4: {} gates, {} levels, {:.1} GHz combinational (paper 2,960 / 42 / 2.6)",
@@ -125,5 +152,5 @@ fn main() {
         logic.max_frequency_ghz(1)
     );
 
-    println!("done in {:?}; JSON in results/", t0.elapsed());
+    println!("done in {:?}; {}; JSON in results/", t0.elapsed(), matrix.summary());
 }

@@ -4,24 +4,23 @@
 //! Paper reference: 64 registers reach only 37.7% of ideal IPC on
 //! average; ~280 registers are needed to stay within 5% of ideal.
 
+use atr_bench::driver;
 use atr_sim::experiments::{fig01, fig01_average, RF_SWEEP};
-use atr_sim::report::{pct, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_sim::report::pct;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = fig01(&sim);
-    let table: Vec<Vec<String>> = rows
+    let rows = fig01(&driver::sim());
+    let footer = RF_SWEEP
         .iter()
-        .map(|r| vec![r.benchmark.clone(), r.rf_size.to_string(), pct(r.normalized_ipc)])
-        .collect();
-    println!("Fig 1: Normalized baseline IPC vs RF size (paper: 37.7% of ideal at 64)\n");
-    print!("{}", render_table(&["benchmark", "rf", "ipc/ideal"], &table));
-    println!();
-    for rf in RF_SWEEP {
-        println!("average @{rf}: {}", pct(fig01_average(&rows, rf)));
-    }
-    if let Ok(path) = save_json("fig01", &rows) {
-        println!("\nsaved {}", path.display());
-    }
+        .map(|&rf| format!("average @{rf}: {}", pct(fig01_average(&rows, rf))))
+        .collect::<Vec<_>>()
+        .join("\n");
+    driver::emit(
+        "fig01",
+        "Fig 1: Normalized baseline IPC vs RF size (paper: 37.7% of ideal at 64)",
+        &["benchmark", "rf", "ipc/ideal"],
+        &rows,
+        |r| vec![r.benchmark.clone(), r.rf_size.to_string(), pct(r.normalized_ipc)],
+        Some(footer),
+    );
 }

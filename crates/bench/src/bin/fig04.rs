@@ -4,15 +4,18 @@
 //! lifetime, unused 41.03%, and verified-unused 5.05%; for the vector
 //! file (SPEC2017fp): 78.27% / 18.91% / 2.81%.
 
-use atr_sim::report::{pct, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
+use atr_sim::report::pct;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig04(&sim);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
+    let rows = atr_sim::experiments::fig04(&driver::sim());
+    driver::emit(
+        "fig04",
+        "Fig 4: Register lifecycle distribution\n\
+         (paper: int 53.52/41.03/5.05%, fp 78.27/18.91/2.81%)",
+        &["benchmark", "suite", "in-use", "unused", "verified-unused"],
+        &rows,
+        |r| {
             vec![
                 r.benchmark.clone(),
                 r.class.clone(),
@@ -20,17 +23,7 @@ fn main() {
                 pct(r.unused),
                 pct(r.verified_unused),
             ]
-        })
-        .collect();
-    println!(
-        "Fig 4: Register lifecycle distribution\n\
-         (paper: int 53.52/41.03/5.05%, fp 78.27/18.91/2.81%)\n"
+        },
+        None,
     );
-    print!(
-        "{}",
-        render_table(&["benchmark", "suite", "in-use", "unused", "verified-unused"], &table)
-    );
-    if let Ok(path) = save_json("fig04", &rows) {
-        println!("\nsaved {}", path.display());
-    }
 }

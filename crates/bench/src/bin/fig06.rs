@@ -2,17 +2,19 @@
 //!
 //! Paper reference: on average 17.04% of allocated registers in
 //! SPEC2017int and 13.14% in SPEC2017fp are in atomic commit regions,
-//! with non-branch ≥ non-except ≥ atomic per benchmark.
+//! with non-branch >= non-except >= atomic per benchmark.
 
-use atr_sim::report::{pct, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
+use atr_sim::report::pct;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig06(&sim);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
+    let rows = atr_sim::experiments::fig06(&driver::sim());
+    driver::emit(
+        "fig06",
+        "Fig 6: Atomic register ratio (paper: 17.04% int / 13.14% fp average)",
+        &["benchmark", "suite", "non-branch", "non-except", "atomic"],
+        &rows,
+        |r| {
             vec![
                 r.benchmark.clone(),
                 r.class.clone(),
@@ -20,14 +22,7 @@ fn main() {
                 pct(r.non_except),
                 pct(r.atomic),
             ]
-        })
-        .collect();
-    println!("Fig 6: Atomic register ratio (paper: 17.04% int / 13.14% fp average)\n");
-    print!(
-        "{}",
-        render_table(&["benchmark", "suite", "non-branch", "non-except", "atomic"], &table)
+        },
+        None,
     );
-    if let Ok(path) = save_json("fig06", &rows) {
-        println!("\nsaved {}", path.display());
-    }
 }

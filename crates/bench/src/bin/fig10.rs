@@ -6,15 +6,17 @@
 //! nonspec-ER. At 224: atomic +1.48% / +1.11%, beating nonspec-ER by
 //! +0.37% / +0.46%.
 
-use atr_sim::report::{gain, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
+use atr_sim::report::gain;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig10(&sim);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
+    let rows = atr_sim::experiments::fig10(&driver::sim());
+    driver::emit(
+        "fig10",
+        "Fig 10: Scheme speedups over baseline @64/@224 registers",
+        &["benchmark", "suite", "rf", "scheme", "speedup"],
+        &rows,
+        |r| {
             vec![
                 r.benchmark.clone(),
                 r.class.clone(),
@@ -22,11 +24,7 @@ fn main() {
                 r.scheme.clone(),
                 gain(r.speedup),
             ]
-        })
-        .collect();
-    println!("Fig 10: Scheme speedups over baseline @64/@224 registers\n");
-    print!("{}", render_table(&["benchmark", "suite", "rf", "scheme", "speedup"], &table));
-    if let Ok(path) = save_json("fig10", &rows) {
-        println!("\nsaved {}", path.display());
-    }
+        },
+        None,
+    );
 }

@@ -1,22 +1,20 @@
 //! Regenerates Fig 11: atomic-scheme speedup over the baseline across
-//! register file sizes 64…280.
+//! register file sizes 64...280.
 //!
-//! Paper reference: the speedup shrinks monotonically with RF size —
+//! Paper reference: the speedup shrinks monotonically with RF size --
 //! +5.70%/+4.69% (int/fp) at 64 registers down to +0.93%/+0.53% at 280.
 
-use atr_sim::report::{gain, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
+use atr_sim::report::gain;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig11(&sim);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.class.clone(), r.rf_size.to_string(), gain(r.speedup)])
-        .collect();
-    println!("Fig 11: Atomic speedup vs RF size (paper: shrinking with size)\n");
-    print!("{}", render_table(&["suite", "rf", "speedup"], &table));
-    if let Ok(path) = save_json("fig11", &rows) {
-        println!("\nsaved {}", path.display());
-    }
+    let rows = atr_sim::experiments::fig11(&driver::sim());
+    driver::emit(
+        "fig11",
+        "Fig 11: Atomic speedup vs RF size (paper: shrinking with size)",
+        &["suite", "rf", "speedup"],
+        &rows,
+        |r| vec![r.class.clone(), r.rf_size.to_string(), gain(r.speedup)],
+        None,
+    );
 }

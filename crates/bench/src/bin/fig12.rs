@@ -4,29 +4,21 @@
 //! region; only namd shows a considerable share of regions with up to
 //! five consumers, so a 3-bit counter (sentinel at 7) loses nothing.
 
-use atr_sim::report::{pct, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
+use atr_sim::report::pct;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig12(&sim);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
+    let rows = atr_sim::experiments::fig12(&driver::sim());
+    driver::emit(
+        "fig12",
+        "Fig 12: Consumers per atomic region (paper: mostly 1-2; namd up to 5)",
+        &["benchmark", "suite", "mean", "0", "1", "2", "3", "4", "5", "6", ">=7"],
+        &rows,
+        |r| {
             let mut cells = vec![r.benchmark.clone(), r.class.clone(), format!("{:.2}", r.mean)];
             cells.extend(r.buckets.iter().map(|b| pct(*b)));
             cells
-        })
-        .collect();
-    println!("Fig 12: Consumers per atomic region (paper: mostly 1-2; namd up to 5)\n");
-    print!(
-        "{}",
-        render_table(
-            &["benchmark", "suite", "mean", "0", "1", "2", "3", "4", "5", "6", ">=7"],
-            &table
-        )
+        },
+        None,
     );
-    if let Ok(path) = save_json("fig12", &rows) {
-        println!("\nsaved {}", path.display());
-    }
 }

@@ -4,19 +4,17 @@
 //! Paper reference: the impact is negligible, because consumption
 //! happens much later than redefinition (Fig 14).
 
-use atr_sim::report::{gain, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
+use atr_sim::report::gain;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig13(&sim);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| vec![r.class.clone(), r.delay.to_string(), gain(r.speedup)])
-        .collect();
-    println!("Fig 13: Redefine-pipeline delay sensitivity @64 registers\n");
-    print!("{}", render_table(&["suite", "delay", "speedup vs baseline"], &table));
-    if let Ok(path) = save_json("fig13", &rows) {
-        println!("\nsaved {}", path.display());
-    }
+    let rows = atr_sim::experiments::fig13(&driver::sim());
+    driver::emit(
+        "fig13",
+        "Fig 13: Redefine-pipeline delay sensitivity @64 registers",
+        &["suite", "delay", "speedup vs baseline"],
+        &rows,
+        |r| vec![r.class.clone(), r.delay.to_string(), gain(r.speedup)],
+        None,
+    );
 }

@@ -3,18 +3,19 @@
 //!
 //! Paper reference: redefinition happens a few cycles after rename,
 //! consumption significantly later (it waits on data dependencies), and
-//! the redefiner's commit much later still — which is why delaying the
+//! the redefiner's commit much later still -- which is why delaying the
 //! redefine signal by 1-2 cycles (Fig 13) costs almost nothing.
 
-use atr_sim::report::{render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig14(&sim);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
+    let rows = atr_sim::experiments::fig14(&driver::sim());
+    driver::emit(
+        "fig14",
+        "Fig 14: Mean cycles from rename within atomic regions",
+        &["benchmark", "suite", "to redefine", "to last consume", "to redefiner commit"],
+        &rows,
+        |r| {
             vec![
                 r.benchmark.clone(),
                 r.class.clone(),
@@ -22,17 +23,7 @@ fn main() {
                 format!("{:.1}", r.rename_to_consume),
                 format!("{:.1}", r.rename_to_commit),
             ]
-        })
-        .collect();
-    println!("Fig 14: Mean cycles from rename within atomic regions\n");
-    print!(
-        "{}",
-        render_table(
-            &["benchmark", "suite", "to redefine", "to last consume", "to redefiner commit"],
-            &table
-        )
+        },
+        None,
     );
-    if let Ok(path) = save_json("fig14", &rows) {
-        println!("\nsaved {}", path.display());
-    }
 }

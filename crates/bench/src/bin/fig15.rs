@@ -7,17 +7,21 @@
 //! power and ~2.7% core area (McPAT).
 
 use atr_analysis::CorePowerModel;
-use atr_sim::report::{pct, render_table, save_json};
-use atr_sim::SimConfig;
+use atr_bench::driver;
+use atr_sim::report::pct;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows = atr_sim::experiments::fig15(&sim, 0.03, 8);
+    let rows = atr_sim::experiments::fig15(&driver::sim(), 0.03, 8);
     let model = CorePowerModel::default();
     let baseline = model.estimate(280, 280);
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
+    driver::emit(
+        "fig15",
+        "Fig 15: RF size for <=3% slowdown vs baseline@280\n\
+         (paper: atomic 204/-27.1%, nonspec-ER 212/-24.3%, combined 196/-30%,\n\
+          ~5.5% power and ~2.7-2.9% area saving)",
+        &["scheme", "required rf", "reduction", "power saving", "area saving"],
+        &rows,
+        |r| {
             let est = model.estimate(r.required_rf, r.required_rf);
             vec![
                 r.scheme.clone(),
@@ -26,21 +30,7 @@ fn main() {
                 pct(est.power_saving_vs(&baseline)),
                 pct(est.area_saving_vs(&baseline)),
             ]
-        })
-        .collect();
-    println!(
-        "Fig 15: RF size for <=3% slowdown vs baseline@280\n\
-         (paper: atomic 204/-27.1%, nonspec-ER 212/-24.3%, combined 196/-30%,\n\
-          ~5.5% power and ~2.7-2.9% area saving)\n"
+        },
+        None,
     );
-    print!(
-        "{}",
-        render_table(
-            &["scheme", "required rf", "reduction", "power saving", "area saving"],
-            &table
-        )
-    );
-    if let Ok(path) = save_json("fig15", &rows) {
-        println!("\nsaved {}", path.display());
-    }
 }

@@ -7,11 +7,10 @@
 //! >4 GHz with two extra pipeline stages.
 
 use atr_analysis::BulkReleaseLogic;
+use atr_bench::driver;
 use atr_isa::RegClass;
-use atr_sim::report::render_table;
 
 fn main() {
-    println!("§4.4 Hardware overheads\n");
     let mut rows = Vec::new();
     for class in RegClass::ALL {
         let bits = class.bit_width();
@@ -28,6 +27,6 @@ fn main() {
     rows.push(vec!["delay (ps, FO4=4.5ps, 100% margin)".into(), format!("{:.0}", r.delay_ps)]);
     rows.push(vec!["combinational fmax".into(), format!("{:.1} GHz", r.max_frequency_ghz(1))]);
     rows.push(vec!["3-stage pipelined fmax".into(), format!("{:.1} GHz", r.max_frequency_ghz(3))]);
-    print!("{}", render_table(&["quantity", "value"], &rows));
+    driver::print_table("§4.4 Hardware overheads", &["quantity", "value"], &rows);
     println!("\npaper: 42 levels, 2,960 gates, 2.6 GHz combinational, >4 GHz pipelined");
 }

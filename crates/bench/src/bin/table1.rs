@@ -1,14 +1,15 @@
 //! Regenerates Table 1 (processor configuration) from the live
 //! simulator configuration.
 
-use atr_sim::{config::table1, SimConfig};
+use atr_bench::driver;
+use atr_sim::config::table1;
 
 fn main() {
-    let sim = SimConfig::golden_cove();
-    let rows: Vec<Vec<String>> = table1(&sim.core)
-        .into_iter()
-        .map(|(k, v)| vec![k, v])
-        .collect();
-    println!("Table 1: Processor Configuration (simulated)\n");
-    print!("{}", atr_sim::report::render_table(&["Parameter", "Value"], &rows));
+    let rows: Vec<Vec<String>> =
+        table1(&driver::sim().core).into_iter().map(|(k, v)| vec![k, v]).collect();
+    driver::print_table(
+        "Table 1: Processor Configuration (simulated)",
+        &["Parameter", "Value"],
+        &rows,
+    );
 }

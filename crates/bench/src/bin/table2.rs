@@ -1,7 +1,7 @@
 //! Regenerates Table 2 (the SPEC CPU 2017 benchmark list) from the
 //! workload substrate, with the modeled characteristics of each profile.
 
-use atr_sim::report::render_table;
+use atr_bench::driver;
 use atr_workload::spec::all_profiles;
 
 fn main() {
@@ -18,12 +18,9 @@ fn main() {
             ]
         })
         .collect();
-    println!("Table 2: SPEC CPU 2017 Benchmarks (synthetic stand-in profiles)\n");
-    print!(
-        "{}",
-        render_table(
-            &["benchmark", "suite", "loads", "branch entropy", "footprint", "burst frac"],
-            &rows
-        )
+    driver::print_table(
+        "Table 2: SPEC CPU 2017 Benchmarks (synthetic stand-in profiles)",
+        &["benchmark", "suite", "loads", "branch entropy", "footprint", "burst frac"],
+        &rows,
     );
 }

@@ -1,1 +1,77 @@
-//! Benchmark harness support crate (binaries live in src/bin).
+//! Benchmark harness support crate (binaries live in `src/bin`).
+//!
+//! [`driver`] is the one shared entry path all figure binaries go
+//! through: each `--bin figNN` only names its experiment, headers, and
+//! cell formatting, and the driver handles the table rendering, the
+//! `results/*.json` artifact, and the shared [`atr_sim::SimConfig`].
+
+pub mod timing {
+    //! Minimal wall-clock micro-benchmark support for the `benches/`
+    //! harnesses (plain `harness = false` mains — the container has no
+    //! benchmarking framework, and min-of-N wall clock is enough to
+    //! catch throughput regressions).
+
+    use std::time::{Duration, Instant};
+
+    /// Runs `f` `samples` times and prints the min/median sample time,
+    /// plus per-element throughput when `elements > 0`.
+    pub fn bench<T>(name: &str, samples: usize, elements: u64, mut f: impl FnMut() -> T) {
+        assert!(samples > 0, "need at least one sample");
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let out = f();
+            times.push(t0.elapsed());
+            std::hint::black_box(&out);
+        }
+        times.sort();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        if elements > 0 {
+            let rate = elements as f64 / min.as_secs_f64();
+            println!("{name:<44} min {min:>10.1?}  median {median:>10.1?}  {rate:>12.0} elem/s");
+        } else {
+            println!("{name:<44} min {min:>10.1?}  median {median:>10.1?}");
+        }
+    }
+}
+
+pub mod driver {
+    use atr_json::ToJson;
+    use atr_sim::report::{render_table, save_json};
+    use atr_sim::SimConfig;
+
+    /// The configuration every binary simulates under: Golden-Cove core,
+    /// `ATR_SIM_WARMUP`/`ATR_SIM_INSTS` budget.
+    #[must_use]
+    pub fn sim() -> SimConfig {
+        SimConfig::golden_cove()
+    }
+
+    /// Prints a titled table without a JSON artifact (Table 1/2, §4.4).
+    pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        println!("{title}\n");
+        print!("{}", render_table(headers, rows));
+    }
+
+    /// The full figure-binary protocol: titled table on stdout, optional
+    /// footer lines, then the `results/<name>.json` artifact.
+    pub fn emit<R: ToJson>(
+        name: &str,
+        title: &str,
+        headers: &[&str],
+        rows: &[R],
+        cells: impl Fn(&R) -> Vec<String>,
+        footer: Option<String>,
+    ) {
+        let table: Vec<Vec<String>> = rows.iter().map(&cells).collect();
+        print_table(title, headers, &table);
+        if let Some(footer) = footer {
+            println!("\n{footer}");
+        }
+        match save_json(name, rows) {
+            Ok(path) => println!("\nsaved {}", path.display()),
+            Err(err) => eprintln!("warning: could not save results/{name}.json: {err}"),
+        }
+    }
+}

@@ -72,10 +72,7 @@ impl FreeList {
     /// correctness property the release schemes must maintain.
     pub fn release(&mut self, tag: PTag) {
         assert_eq!(tag.class(), self.class, "freed tag of wrong class");
-        assert!(
-            !self.is_free[tag.index()],
-            "double free of physical register {tag}"
-        );
+        assert!(!self.is_free[tag.index()], "double free of physical register {tag}");
         self.is_free[tag.index()] = true;
         self.free.push_back(tag);
     }

@@ -318,7 +318,13 @@ impl Renamer {
     ///
     /// Panics if a destination is needed and the free list is empty; the
     /// pipeline must check [`Renamer::can_rename`] first.
-    pub fn rename(&mut self, inst: &StaticInst, seq: u64, cycle: u64, wrong_path: bool) -> RenamedUop {
+    pub fn rename(
+        &mut self,
+        inst: &StaticInst,
+        seq: u64,
+        cycle: u64,
+        wrong_path: bool,
+    ) -> RenamedUop {
         let tracks = self.scheme.tracks_consumers();
 
         // Move elimination (§6): a register-to-register move renames its
@@ -564,7 +570,8 @@ impl Renamer {
     /// previous ptag.
     pub fn on_precommit(&mut self, uop: &mut RenamedUop, cycle: u64) {
         self.log.update(uop.prev_event, |r| {
-            r.redefiner_precommit_cycle = Some(r.redefiner_precommit_cycle.unwrap_or(cycle).min(cycle));
+            r.redefiner_precommit_cycle =
+                Some(r.redefiner_precommit_cycle.unwrap_or(cycle).min(cycle));
         });
         if !self.scheme.precommit_enabled() {
             return;

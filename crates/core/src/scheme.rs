@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Which register-release scheme the renamer runs (§5.2 evaluates all
 /// four).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReleaseScheme {
     /// Conventional release: the previous ptag is freed when the
     /// redefining instruction commits (§2.1).

@@ -21,9 +21,7 @@ impl RenameTable {
     pub fn identity() -> Self {
         RenameTable {
             map: PerClass::from_fn(|class| {
-                (0..class.arch_reg_count() as u32)
-                    .map(|i| PTag::new(class, i))
-                    .collect()
+                (0..class.arch_reg_count() as u32).map(|i| PTag::new(class, i)).collect()
             }),
         }
     }

@@ -9,12 +9,16 @@
 //! * after draining, only the architectural mappings stay allocated;
 //! * ATR never releases a register whose region saw a branch or
 //!   exception-capable instruction.
+//!
+//! Randomness comes from the in-tree `atr-rng` (the container has no
+//! registry access for proptest): every case is seeded deterministically,
+//! so a failure message's seed reproduces the exact action sequence.
 
 use atr_core::{
-    CheckpointPolicy, FlushRecord, RenameConfig, RenamedUop, Renamer, ReleaseScheme, SrtCheckpoint,
+    CheckpointPolicy, FlushRecord, ReleaseScheme, RenameConfig, RenamedUop, Renamer, SrtCheckpoint,
 };
 use atr_isa::{ArchReg, OpClass, StaticInst};
-use proptest::prelude::*;
+use atr_rng::{RngExt, SeedableRng, SmallRng};
 
 #[derive(Debug, Clone)]
 enum Action {
@@ -32,15 +36,34 @@ enum Action {
     Tick(u8),
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        5 => (0u8..7, 1u8..16, 1u8..16).prop_map(|(kind, dst, src)| Action::Rename { kind, dst, src }),
-        3 => Just(Action::IssueOldest),
-        2 => any::<u8>().prop_map(Action::IssueAt),
-        3 => Just(Action::Retire),
-        1 => Just(Action::FlushAtBranch),
-        1 => (1u8..8).prop_map(Action::Tick),
-    ]
+/// Weighted random action, mirroring the original proptest strategy
+/// (weights 5/3/2/3/1/1).
+fn random_action(rng: &mut SmallRng) -> Action {
+    match rng.random_range(0..15u32) {
+        0..=4 => Action::Rename {
+            kind: rng.random_range(0..7u8),
+            dst: rng.random_range(1..16u8),
+            src: rng.random_range(1..16u8),
+        },
+        5..=7 => Action::IssueOldest,
+        8..=9 => Action::IssueAt(rng.random_range(0..=255u8)),
+        10..=12 => Action::Retire,
+        13 => Action::FlushAtBranch,
+        _ => Action::Tick(rng.random_range(1..8u8)),
+    }
+}
+
+/// Runs `check` against `cases` random action sequences of 1..150
+/// actions, reporting the failing seed for reproduction.
+fn fuzz(name: &str, cases: u64, check: impl Fn(&[Action])) {
+    for case in 0..cases {
+        let seed = 0xA7B0_0000 + case;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let len = rng.random_range(1..150usize);
+        let actions: Vec<Action> = (0..len).map(|_| random_action(&mut rng)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&actions)));
+        assert!(result.is_ok(), "{name}: case with seed {seed:#x} failed; actions: {actions:?}");
+    }
 }
 
 struct Slot {
@@ -59,10 +82,6 @@ struct Model {
 }
 
 impl Model {
-    fn new(scheme: ReleaseScheme, counter_width: u32) -> Self {
-        Model::with_move_elim(scheme, counter_width, false)
-    }
-
     fn with_move_elim(scheme: ReleaseScheme, counter_width: u32, move_elimination: bool) -> Self {
         let cfg = RenameConfig {
             scheme,
@@ -132,10 +151,8 @@ impl Model {
             Action::FlushAtBranch => {
                 // Flush from the youngest un-precommitted branch: squash
                 // everything younger than it (it resolves).
-                let Some(bidx) = self
-                    .rob
-                    .iter()
-                    .rposition(|s| s.inst.class.is_conditional() && !s.precommitted)
+                let Some(bidx) =
+                    self.rob.iter().rposition(|s| s.inst.class.is_conditional() && !s.precommitted)
                 else {
                     return;
                 };
@@ -143,11 +160,8 @@ impl Model {
                     return;
                 }
                 let squashed: Vec<Slot> = self.rob.split_off(bidx + 1);
-                let records: Vec<FlushRecord> = squashed
-                    .iter()
-                    .rev()
-                    .map(|s| s.uop.flush_record(&s.inst, s.issued))
-                    .collect();
+                let records: Vec<FlushRecord> =
+                    squashed.iter().rev().map(|s| s.uop.flush_record(&s.inst, s.issued)).collect();
                 self.renamer.flush_walk(&records, self.cycle);
                 let cp = self.rob[bidx].cp_after.clone();
                 self.renamer.restore_checkpoint(&cp);
@@ -193,12 +207,7 @@ fn run_model(scheme: ReleaseScheme, counter_width: u32, actions: &[Action]) {
     run_model_full(scheme, counter_width, false, actions)
 }
 
-fn run_model_full(
-    scheme: ReleaseScheme,
-    counter_width: u32,
-    move_elim: bool,
-    actions: &[Action],
-) {
+fn run_model_full(scheme: ReleaseScheme, counter_width: u32, move_elim: bool, actions: &[Action]) {
     let mut m = Model::with_move_elim(scheme, counter_width, move_elim);
     for a in actions {
         m.apply(a);
@@ -227,48 +236,50 @@ fn run_model_full(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    #[test]
-    fn baseline_protocol_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        run_model(ReleaseScheme::Baseline, 3, &actions);
-    }
+#[test]
+fn baseline_protocol_invariants() {
+    fuzz("baseline", CASES, |a| run_model(ReleaseScheme::Baseline, 3, a));
+}
 
-    #[test]
-    fn nonspec_er_protocol_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        run_model(ReleaseScheme::NonSpecEr, 8, &actions);
-    }
+#[test]
+fn nonspec_er_protocol_invariants() {
+    fuzz("nonspec-er", CASES, |a| run_model(ReleaseScheme::NonSpecEr, 8, a));
+}
 
-    #[test]
-    fn atr_protocol_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        run_model(ReleaseScheme::Atr { redefine_delay: 0 }, 3, &actions);
-    }
+#[test]
+fn atr_protocol_invariants() {
+    fuzz("atr", CASES, |a| run_model(ReleaseScheme::Atr { redefine_delay: 0 }, 3, a));
+}
 
-    #[test]
-    fn atr_delayed_protocol_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        run_model(ReleaseScheme::Atr { redefine_delay: 2 }, 3, &actions);
-    }
+#[test]
+fn atr_delayed_protocol_invariants() {
+    fuzz("atr-delayed", CASES, |a| run_model(ReleaseScheme::Atr { redefine_delay: 2 }, 3, a));
+}
 
-    #[test]
-    fn combined_protocol_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        run_model(ReleaseScheme::Combined { redefine_delay: 1 }, 8, &actions);
-    }
+#[test]
+fn combined_protocol_invariants() {
+    fuzz("combined", CASES, |a| run_model(ReleaseScheme::Combined { redefine_delay: 1 }, 8, a));
+}
 
-    #[test]
-    fn narrow_counter_protocol_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        // 2-bit counter: overflow is common; must still be leak-free.
-        run_model(ReleaseScheme::Atr { redefine_delay: 0 }, 2, &actions);
-    }
+#[test]
+fn narrow_counter_protocol_invariants() {
+    // 2-bit counter: overflow is common; must still be leak-free.
+    fuzz("narrow-counter", CASES, |a| run_model(ReleaseScheme::Atr { redefine_delay: 0 }, 2, a));
+}
 
-    #[test]
-    fn move_elimination_protocol_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        // §6 extension: reference-counted registers with ATR claims.
-        run_model_full(ReleaseScheme::Atr { redefine_delay: 0 }, 3, true, &actions);
-    }
+#[test]
+fn move_elimination_protocol_invariants() {
+    // §6 extension: reference-counted registers with ATR claims.
+    fuzz("move-elim", CASES, |a| {
+        run_model_full(ReleaseScheme::Atr { redefine_delay: 0 }, 3, true, a);
+    });
+}
 
-    #[test]
-    fn move_elimination_combined_invariants(actions in prop::collection::vec(action_strategy(), 1..150)) {
-        run_model_full(ReleaseScheme::Combined { redefine_delay: 1 }, 8, true, &actions);
-    }
+#[test]
+fn move_elimination_combined_invariants() {
+    fuzz("move-elim-combined", CASES, |a| {
+        run_model_full(ReleaseScheme::Combined { redefine_delay: 1 }, 8, true, a);
+    });
 }

@@ -2,11 +2,8 @@
 //! the same protocol the pipeline uses. Each named scenario corresponds
 //! to a figure or subsection of the paper.
 
-use atr_core::{
-    CheckpointPolicy, FlushRecord, RenameConfig, RenamedUop, Renamer, ReleaseScheme,
-};
+use atr_core::{CheckpointPolicy, FlushRecord, ReleaseScheme, RenameConfig, RenamedUop, Renamer};
 use atr_isa::{ArchReg, OpClass, RegClass, StaticInst};
-
 
 fn r(i: u8) -> ArchReg {
     ArchReg::int(i)
@@ -95,11 +92,8 @@ impl Driver {
     fn flush_after(&mut self, flush_point: usize) {
         self.cycle += 1;
         let squashed: Vec<Entry> = self.rob.split_off(flush_point + 1);
-        let records: Vec<FlushRecord> = squashed
-            .iter()
-            .rev()
-            .map(|e| e.uop.flush_record(&e.inst, e.issued))
-            .collect();
+        let records: Vec<FlushRecord> =
+            squashed.iter().rev().map(|e| e.uop.flush_record(&e.inst, e.issued)).collect();
         self.renamer.flush_walk(&records, self.cycle);
         let cp = self.rob[flush_point].cp_after.clone();
         self.renamer.restore_checkpoint(&cp);
@@ -260,7 +254,7 @@ fn flush_walk_skips_registers_atr_already_released() {
     d.issue(i2); // atomic release of p1
     assert_eq!(d.free_int(), free0 - 2);
     d.flush_after(b); // squash i1..i3
-    // All three squashed allocations reclaimed exactly once each.
+                      // All three squashed allocations reclaimed exactly once each.
     assert_eq!(d.free_int(), free0);
     assert_eq!(d.renamer.prf_stats(RegClass::Int).flush_double_free_avoided, 1);
     d.renamer.check_invariants();
@@ -480,7 +474,7 @@ fn er_count_restore_after_flush_keeps_counts_exact() {
     let b = d.rename(branch(0x04));
     let _wp = d.rename(alu(0x08, 2, &[1])); // wrong-path consumer, never issues
     d.flush_after(b); // walk restores the count of i1's register
-    // Correct path: consume and redefine; precommit should release.
+                      // Correct path: consume and redefine; precommit should release.
     let c1 = d.rename(alu(0x08, 2, &[1]));
     let i3 = d.rename(alu(0x0c, 1, &[3]));
     d.issue(c1);
@@ -654,7 +648,6 @@ fn shared_register_frees_only_after_both_aliases_redefined() {
     rn.on_commit(&um, 6); // frees r2's initial mapping
     rn.on_commit(&uj1, 7); // drops r1's reference to p (refs 2 -> 1)
     assert_eq!(rn.free_count(RegClass::Int), free_after_renames + 2);
-    assert!(!rn.log().records().is_empty() || true);
     rn.on_commit(&uj2, 8); // drops r2's reference -> p freed
     assert_eq!(rn.free_count(RegClass::Int), free_after_renames + 3);
     let _ = p;

@@ -113,9 +113,7 @@ pub struct Bpu {
 
 impl std::fmt::Debug for Bpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Bpu")
-            .field("predictions", &self.predictions)
-            .finish_non_exhaustive()
+        f.debug_struct("Bpu").field("predictions", &self.predictions).finish_non_exhaustive()
     }
 }
 
@@ -154,11 +152,7 @@ impl Bpu {
     pub fn predict(&mut self, inst: &StaticInst) -> Prediction {
         assert!(inst.class.is_control_flow(), "predict() on non-control-flow {inst}");
         self.predictions += 1;
-        let snapshot = BpuSnapshot {
-            ghist: self.ghist,
-            path: self.path,
-            ras: self.ras.clone(),
-        };
+        let snapshot = BpuSnapshot { ghist: self.ghist, path: self.path, ras: self.ras.clone() };
         let btb_hit = self.btb.lookup(inst.pc).is_some();
         let (taken, next_pc) = self.speculate(inst, None);
         if !btb_hit {

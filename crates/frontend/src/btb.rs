@@ -44,13 +44,7 @@ impl Btb {
         assert_eq!(entries % ways, 0, "entries must be a multiple of ways");
         let nsets = entries / ways;
         assert!(nsets.is_power_of_two(), "set count must be a power of two");
-        Btb {
-            sets: vec![Vec::with_capacity(ways); nsets],
-            ways,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-        }
+        Btb { sets: vec![Vec::with_capacity(ways); nsets], ways, tick: 0, hits: 0, misses: 0 }
     }
 
     fn set_of(&self, pc: u64) -> usize {
@@ -88,10 +82,7 @@ impl Btb {
         if set_vec.len() < ways {
             set_vec.push(entry);
         } else {
-            let victim = set_vec
-                .iter_mut()
-                .min_by_key(|e| e.lru)
-                .expect("non-empty set");
+            let victim = set_vec.iter_mut().min_by_key(|e| e.lru).expect("non-empty set");
             *victim = entry;
         }
     }

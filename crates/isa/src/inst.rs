@@ -160,12 +160,7 @@ impl DynOutcome {
     /// Outcome for a non-control-flow, non-memory instruction.
     #[must_use]
     pub fn fallthrough(inst: &StaticInst) -> Self {
-        DynOutcome {
-            taken: false,
-            next_pc: inst.fallthrough,
-            mem_addr: None,
-            exception: None,
-        }
+        DynOutcome { taken: false, next_pc: inst.fallthrough, mem_addr: None, exception: None }
     }
 }
 
@@ -208,13 +203,7 @@ impl DynInst {
 
 impl fmt::Display for DynInst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}{}] {}",
-            self.seq,
-            if self.on_wrong_path { " WP" } else { "" },
-            self.sinst
-        )
+        write!(f, "[{}{}] {}", self.seq, if self.on_wrong_path { " WP" } else { "" }, self.sinst)
     }
 }
 

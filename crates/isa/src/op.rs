@@ -134,10 +134,7 @@ impl OpClass {
     /// divide-by-zero)? Per §3.2: memory instructions and divisions.
     #[must_use]
     pub fn may_raise_exception(self) -> bool {
-        matches!(
-            self,
-            OpClass::Load | OpClass::Store | OpClass::IntDiv | OpClass::FpDiv
-        )
+        matches!(self, OpClass::Load | OpClass::Store | OpClass::IntDiv | OpClass::FpDiv)
     }
 
     /// Does the precommit pointer have to wait for this instruction to be
@@ -264,10 +261,7 @@ mod tests {
     #[test]
     fn precommit_blockers_are_union_of_branches_and_exceptions() {
         for c in OpClass::ALL {
-            assert_eq!(
-                c.blocks_precommit(),
-                c.breaks_atomic_region() || c.may_raise_exception()
-            );
+            assert_eq!(c.blocks_precommit(), c.breaks_atomic_region() || c.may_raise_exception());
         }
     }
 

@@ -88,10 +88,7 @@ impl ArchReg {
     /// Panics if `index >= NUM_INT_ARCH_REGS`.
     #[must_use]
     pub fn int(index: u8) -> Self {
-        assert!(
-            (index as usize) < NUM_INT_ARCH_REGS,
-            "int register index {index} out of range"
-        );
+        assert!((index as usize) < NUM_INT_ARCH_REGS, "int register index {index} out of range");
         ArchReg { class: RegClass::Int, index }
     }
 
@@ -102,10 +99,7 @@ impl ArchReg {
     /// Panics if `index >= NUM_FP_ARCH_REGS`.
     #[must_use]
     pub fn fp(index: u8) -> Self {
-        assert!(
-            (index as usize) < NUM_FP_ARCH_REGS,
-            "fp register index {index} out of range"
-        );
+        assert!((index as usize) < NUM_FP_ARCH_REGS, "fp register index {index} out of range");
         ArchReg { class: RegClass::Fp, index }
     }
 
@@ -222,9 +216,6 @@ mod tests {
     fn class_metadata() {
         assert_eq!(RegClass::Int.bit_width(), 64);
         assert_eq!(RegClass::Fp.bit_width(), 256);
-        assert_eq!(
-            RegClass::Int.arch_reg_count() + RegClass::Fp.arch_reg_count(),
-            NUM_ARCH_REGS
-        );
+        assert_eq!(RegClass::Int.arch_reg_count() + RegClass::Fp.arch_reg_count(), NUM_ARCH_REGS);
     }
 }

@@ -1,0 +1,286 @@
+//! Minimal JSON serialization for the experiment result files.
+//!
+//! The build environment pins no external registry, so `serde` /
+//! `serde_json` cannot be fetched. Experiment rows only ever serialize
+//! flat structs of numbers and strings into `results/*.json`, so this
+//! crate provides exactly that: a [`Json`] tree, a [`ToJson`] trait with
+//! impls for the primitive types, and the [`json_record!`] macro that
+//! derives `ToJson` for a named-field struct (the moral equivalent of
+//! `#[derive(Serialize)]` for the row types).
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced for non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number.
+    Num(f64),
+    /// An integer kept exact (no float round-trip).
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Pretty-prints with two-space indentation (the `serde_json`
+    /// `to_string_pretty` layout, so existing result files diff cleanly).
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&INDENT.repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] tree (the `Serialize` stand-in).
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),+) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )+};
+}
+
+impl_tojson_int!(i8, i16, i32, i64, u8, u16, u32, usize, isize);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        // u64 counters in this workspace stay far below i64::MAX; clamp
+        // rather than wrap if one ever does not.
+        Json::Int(i64::try_from(*self).unwrap_or(i64::MAX))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_owned())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// Derives [`ToJson`] for a named-field struct, serializing the listed
+/// fields in order:
+///
+/// ```
+/// struct Row { name: String, ipc: f64 }
+/// atr_json::json_record!(Row { name, ipc });
+/// # use atr_json::ToJson;
+/// let j = Row { name: "x".into(), ipc: 1.5 }.to_json();
+/// assert!(j.pretty().contains("\"ipc\": 1.5"));
+/// ```
+#[macro_export]
+macro_rules! json_record {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $((stringify!($field).to_owned(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        benchmark: String,
+        rf_size: usize,
+        speedup: f64,
+    }
+    json_record!(Row { benchmark, rf_size, speedup });
+
+    #[test]
+    fn records_serialize_in_field_order() {
+        let rows = vec![
+            Row { benchmark: "505.mcf_r".into(), rf_size: 64, speedup: 1.25 },
+            Row { benchmark: "q\"x\"".into(), rf_size: 224, speedup: 1.0 },
+        ];
+        let s = rows.to_json().pretty();
+        assert!(s.starts_with("[\n  {\n    \"benchmark\": \"505.mcf_r\",\n"));
+        assert!(s.contains("\"rf_size\": 64"));
+        assert!(s.contains("\"speedup\": 1.25"));
+        assert!(s.contains("\\\"x\\\""));
+        let bench_pos = s.find("benchmark").unwrap();
+        let rf_pos = s.find("rf_size").unwrap();
+        assert!(bench_pos < rf_pos, "field order must be declaration order");
+    }
+
+    #[test]
+    fn scalars_and_edge_cases() {
+        assert_eq!(1.5f64.to_json().pretty(), "1.5");
+        assert_eq!(7usize.to_json().pretty(), "7");
+        assert_eq!(true.to_json().pretty(), "true");
+        assert_eq!(f64::NAN.to_json().pretty(), "null");
+        assert_eq!(Option::<f64>::None.to_json().pretty(), "null");
+        assert_eq!(Vec::<f64>::new().to_json().pretty(), "[]");
+        assert_eq!("a\nb".to_json().pretty(), "\"a\\nb\"");
+    }
+
+    #[test]
+    fn whole_floats_render_as_json_numbers() {
+        // Rust's `{}` prints 1.0 as "1": still a valid JSON number.
+        assert_eq!(1.0f64.to_json().pretty(), "1");
+        assert_eq!(0.1f64.to_json().pretty(), "0.1");
+    }
+
+    #[test]
+    fn nested_structure_pretty_prints() {
+        let j = Json::Obj(vec![
+            ("xs".into(), Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let expected = "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": {}\n}";
+        assert_eq!(j.pretty(), expected);
+    }
+}

@@ -130,7 +130,14 @@ impl Cache {
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = vec![vec![Line::default(); cfg.ways]; cfg.num_sets()];
-        Cache { sets, stats: CacheStats::default(), tick: 0, lfsr: 0xbeef, inflight: Vec::new(), cfg }
+        Cache {
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+            lfsr: 0xbeef,
+            inflight: Vec::new(),
+            cfg,
+        }
     }
 
     /// The configuration this cache was built with.
@@ -233,7 +240,8 @@ impl Cache {
                     .map(|(i, _)| i)
                     .expect("non-empty set"),
                 ReplacementPolicy::Random => {
-                    let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
+                    let bit =
+                        (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
                     self.lfsr = (self.lfsr >> 1) | (bit << 15);
                     (self.lfsr as usize) % self.cfg.ways
                 }
@@ -246,14 +254,8 @@ impl Cache {
         } else {
             None
         };
-        self.sets[set_idx][victim_idx] = Line {
-            valid: true,
-            tag,
-            dirty: false,
-            prefetched: is_prefetch,
-            ready_at,
-            stamp: tick,
-        };
+        self.sets[set_idx][victim_idx] =
+            Line { valid: true, tag, dirty: false, prefetched: is_prefetch, ready_at, stamp: tick };
         wb
     }
 

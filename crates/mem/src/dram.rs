@@ -122,8 +122,8 @@ mod tests {
         let mut d = Dram::new(DramConfig::default());
         let a = d.read(0x10000, 0);
         let b = d.read(0x10040, a); // same 8K row, same channel? check channel
-        // 0x10000>>6 = 0x400 (even ch 0); 0x10040>>6 = 0x401 (ch 1) — use
-        // stride 128 to stay on channel 0.
+                                    // 0x10000>>6 = 0x400 (even ch 0); 0x10040>>6 = 0x401 (ch 1) — use
+                                    // stride 128 to stay on channel 0.
         let c = d.read(0x10080, b);
         assert!(c - b < 195, "row hit should be discounted, got {}", c - b);
     }
@@ -144,7 +144,7 @@ mod tests {
         let mut d = Dram::new(DramConfig { channels: 2, ..DramConfig::default() });
         let a = d.read(0x0, 0); // channel 0
         let b = d.read(0x40, 0); // channel 1
-        // Neither waits on the other.
+                                 // Neither waits on the other.
         assert_eq!(a, 195);
         assert_eq!(b, 195);
     }

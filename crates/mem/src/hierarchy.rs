@@ -233,12 +233,7 @@ impl MemoryHierarchy {
     /// Statistics of each level: (l1i, l1d, l2, llc).
     #[must_use]
     pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats) {
-        (
-            *self.l1i.stats(),
-            *self.l1d.stats(),
-            *self.l2.stats(),
-            *self.llc.stats(),
-        )
+        (*self.l1i.stats(), *self.l1d.stats(), *self.l2.stats(), *self.llc.stats())
     }
 
     /// DRAM statistics: (reads, writes, row hits).
@@ -355,9 +350,8 @@ mod tests {
     fn dram_bandwidth_backpressures_bursts() {
         let mut m = no_prefetch();
         // 64 independent cold misses issued the same cycle.
-        let dones: Vec<u64> = (0..64u64)
-            .map(|i| m.access(AccessKind::Load, 0x100_0000 + i * 64 * 131, 0))
-            .collect();
+        let dones: Vec<u64> =
+            (0..64u64).map(|i| m.access(AccessKind::Load, 0x100_0000 + i * 64 * 131, 0)).collect();
         let first = dones.iter().min().unwrap();
         let last = dones.iter().max().unwrap();
         assert!(last - first >= 64 / 2 * 8 / 2, "channel queueing should spread completions");

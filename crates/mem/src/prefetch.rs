@@ -193,11 +193,7 @@ impl Prefetcher {
             }
             // On (re-)entering a region with a learned footprint,
             // prefetch it.
-            if let Some(learned) = self
-                .spatial
-                .iter_mut()
-                .find(|e| e.valid && e.region == region)
-            {
+            if let Some(learned) = self.spatial.iter_mut().find(|e| e.valid && e.region == region) {
                 learned.lru = tick;
                 let fp = learned.footprint;
                 for bit in 0..64u64 {

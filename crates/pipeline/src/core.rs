@@ -238,9 +238,8 @@ impl OooCore {
                     None
                 };
                 self.wp_salt = self.wp_salt.wrapping_add(0x9e37_79b9_7f4a_7c15);
-                let (ptaken, ptarget) = prediction
-                    .as_ref()
-                    .map_or((false, 0), |p| (p.taken, p.next_pc));
+                let (ptaken, ptarget) =
+                    prediction.as_ref().map_or((false, 0), |p| (p.taken, p.next_pc));
                 let outcome = synthesize_outcome(&sinst, ptaken, ptarget, self.wp_salt);
                 Fetched {
                     inst: DynInst {
@@ -335,9 +334,7 @@ impl OooCore {
             }
             let f = self.frontend.pop_front().expect("checked front");
             let seq = f.inst.seq;
-            let uop = self
-                .renamer
-                .rename(&f.inst.sinst, seq, self.cycle, f.inst.on_wrong_path);
+            let uop = self.renamer.rename(&f.inst.sinst, seq, self.cycle, f.inst.on_wrong_path);
             if f.inst.on_wrong_path {
                 self.stats.wrong_path_renamed += 1;
             }
@@ -408,10 +405,7 @@ impl OooCore {
             let complete_at = match class {
                 OpClass::Load => {
                     let addr = mem_addr.expect("load without an address");
-                    match self
-                        .lsq
-                        .check_load(seq, addr, !self.cfg.perfect_disambiguation)
-                    {
+                    match self.lsq.check_load(seq, addr, !self.cfg.perfect_disambiguation) {
                         LoadCheck::Wait => continue,
                         LoadCheck::Forward { data_ready } => {
                             loads -= 1;
@@ -517,19 +511,14 @@ impl OooCore {
 
         // Backend recovery: squash, walk, restore the SRT.
         let squashed = self.rob.squash_younger(seq);
-        let records: Vec<atr_core::FlushRecord> = squashed
-            .iter()
-            .map(|e| e.uop.flush_record(&e.inst.sinst, e.issued()))
-            .collect();
+        let records: Vec<atr_core::FlushRecord> =
+            squashed.iter().map(|e| e.uop.flush_record(&e.inst.sinst, e.issued())).collect();
         self.renamer.flush_walk(&records, self.cycle);
         match checkpoint {
             Some(cp) => self.renamer.restore_checkpoint(&cp),
             None => {
-                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> = self
-                    .rob
-                    .iter()
-                    .filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?)))
-                    .collect();
+                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> =
+                    self.rob.iter().filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?))).collect();
                 self.renamer.restore_from_committed(survivors.into_iter());
             }
         }
@@ -574,9 +563,7 @@ impl OooCore {
                 // translated. The paper's own Fig 5 shows the load I1
                 // precommitting at its execute time (675), not at data
                 // return (839), so issue/AGU is the gate.
-                OpClass::Load | OpClass::Store => {
-                    e.issued() && e.inst.outcome.exception.is_none()
-                }
+                OpClass::Load | OpClass::Store => e.issued() && e.inst.outcome.exception.is_none(),
                 OpClass::IntDiv | OpClass::FpDiv => {
                     e.completed() && e.inst.outcome.exception.is_none()
                 }
@@ -672,12 +659,8 @@ impl OooCore {
                     self.stats.interrupt_wait_cycles += 1;
                     return;
                 }
-                let newest_precommitted = self
-                    .rob
-                    .iter()
-                    .take_while(|e| e.precommitted)
-                    .last()
-                    .map(|e| e.inst.seq);
+                let newest_precommitted =
+                    self.rob.iter().take_while(|e| e.precommitted).last().map(|e| e.inst.seq);
                 let squashed = match newest_precommitted {
                     Some(seq) => self.rob.squash_younger(seq),
                     None => self.rob.squash_all(),
@@ -714,11 +697,8 @@ impl OooCore {
                     .map(|e| e.uop.flush_record(&e.inst.sinst, e.issued()))
                     .collect();
                 self.renamer.flush_walk(&records, self.cycle);
-                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> = self
-                    .rob
-                    .iter()
-                    .filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?)))
-                    .collect();
+                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> =
+                    self.rob.iter().filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?))).collect();
                 self.renamer.restore_from_committed(survivors.into_iter());
                 if let Some(p) = squashed.iter().rev().find_map(|e| e.prediction.as_ref()) {
                     self.bpu.restore(&p.snapshot);
@@ -750,10 +730,8 @@ impl OooCore {
         let oldest = squashed.last().expect("exception implies a head entry");
         let (resume_idx, resume_pc) = (oldest.inst.oracle_idx, oldest.inst.sinst.pc);
 
-        let records: Vec<atr_core::FlushRecord> = squashed
-            .iter()
-            .map(|e| e.uop.flush_record(&e.inst.sinst, e.issued()))
-            .collect();
+        let records: Vec<atr_core::FlushRecord> =
+            squashed.iter().map(|e| e.uop.flush_record(&e.inst.sinst, e.issued())).collect();
         self.renamer.flush_walk(&records, self.cycle);
         self.renamer.restore_from_committed(std::iter::empty());
 

@@ -50,9 +50,7 @@ fn wrong_path_execution_happens_and_is_squashed() {
 fn atr_scheme_survives_heavy_misprediction_with_double_free_checks() {
     // The FreeList panics on any double free, so simply running a
     // branchy workload under ATR exercises §4.2.4 end to end.
-    let cfg = quick_cfg()
-        .with_rf_size(64)
-        .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
+    let cfg = quick_cfg().with_rf_size(64).with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
     let program = spec::find_profile("leela").unwrap().build();
     let mut core = OooCore::new(cfg, Oracle::new(program));
     let stats = core.run(40_000);
@@ -63,9 +61,7 @@ fn atr_scheme_survives_heavy_misprediction_with_double_free_checks() {
 #[test]
 fn flush_walk_double_free_avoidance_fires_in_real_runs() {
     // Squashed regions that were already ATR-released must appear.
-    let cfg = quick_cfg()
-        .with_rf_size(96)
-        .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
+    let cfg = quick_cfg().with_rf_size(96).with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
     let program = spec::find_profile("deepsjeng").unwrap().build();
     let mut core = OooCore::new(cfg, Oracle::new(program));
     let stats = core.run(60_000);
@@ -167,9 +163,7 @@ fn drain_interrupt_services_after_rob_empties() {
 
 #[test]
 fn flush_interrupt_waits_for_open_atomic_claims() {
-    let cfg = quick_cfg()
-        .with_rf_size(64)
-        .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
+    let cfg = quick_cfg().with_rf_size(64).with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
     let program = spec::find_profile("exchange2").unwrap().build();
     let mut core = OooCore::new(cfg, Oracle::new(program));
     let _ = core.run(5_000);
@@ -184,18 +178,14 @@ fn flush_interrupt_waits_for_open_atomic_claims() {
 fn interrupt_modes_do_not_corrupt_register_state() {
     // Fire interrupts repeatedly under ATR; the free-list double-free
     // panics and invariant checks validate the §4.1 claim.
-    let cfg = quick_cfg()
-        .with_rf_size(72)
-        .with_scheme(ReleaseScheme::Combined { redefine_delay: 1 });
+    let cfg =
+        quick_cfg().with_rf_size(72).with_scheme(ReleaseScheme::Combined { redefine_delay: 1 });
     let program = spec::find_profile("leela").unwrap().build();
     let mut core = OooCore::new(cfg, Oracle::new(program));
     for i in 0..6 {
         let _ = core.run(3_000);
-        let mode = if i % 2 == 0 {
-            InterruptMode::FlushAtRegionBoundary
-        } else {
-            InterruptMode::Drain
-        };
+        let mode =
+            if i % 2 == 0 { InterruptMode::FlushAtRegionBoundary } else { InterruptMode::Drain };
         core.request_interrupt(mode);
     }
     let stats = core.run(5_000);
@@ -247,9 +237,8 @@ fn register_class_split_is_respected() {
 fn move_elimination_reduces_allocations_and_keeps_correctness() {
     let program = spec::find_profile("perlbench").unwrap().build();
     let run_with = |elim: bool| {
-        let mut cfg = quick_cfg()
-            .with_rf_size(64)
-            .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
+        let mut cfg =
+            quick_cfg().with_rf_size(64).with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
         cfg.rename.move_elimination = elim;
         let mut core = OooCore::new(cfg, Oracle::new(program.clone()));
         let stats = core.run(40_000);

@@ -1,0 +1,337 @@
+//! Self-contained deterministic PRNG for the workload substrate and the
+//! randomized tests.
+//!
+//! The build environment pins no external registry, so the `rand` crate
+//! cannot be fetched; this crate provides the small slice of its API the
+//! workspace actually uses ([`SmallRng`], [`SeedableRng`], [`RngExt`])
+//! on top of xoshiro256++ seeded through splitmix64. Call sites keep the
+//! exact `rand` method names (`seed_from_u64`, `random`, `random_bool`,
+//! `random_range`) so swapping the backing crate is a one-line `use`
+//! change.
+//!
+//! The generator is deliberately *not* bit-compatible with any `rand`
+//! release: streams are stable across runs and platforms of this
+//! workspace, which is all the deterministic-replay guarantees need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Splitmix64 step: the standard seeding sequence for xoshiro state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic generator (xoshiro256++).
+///
+/// Drop-in replacement for `rand::rngs::SmallRng` at the API level used
+/// by this workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+/// Seeding constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Constructs the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a 64-bit convenience seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+            *word = u64::from_le_bytes(b);
+        }
+        if s == [0; 4] {
+            // xoshiro must not start from the all-zero state.
+            s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+        }
+        SmallRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        SmallRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+}
+
+impl SmallRng {
+    /// The next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, span)` (Lemire's unbiased method).
+    #[inline]
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0, "empty sampling range");
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(span);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(span);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform f64 in `[0, 1)` with 53 random bits.
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Sampling helpers, mirroring the `rand::Rng` methods this workspace
+/// calls.
+pub trait RngExt {
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64` in `[0,1)`, full-width integers, fair `bool`).
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool;
+
+    /// A uniform sample from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for SmallRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.unit_f64() < p
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// Types with a standard (full-range / unit-interval) distribution.
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn sample(rng: &mut SmallRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a uniform sample can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one sample from `self`.
+    fn sample_from(self, rng: &mut SmallRng) -> T;
+}
+
+/// Types uniformly samplable from a half-open or inclusive range.
+///
+/// The blanket `SampleRange` impls below are generic over this trait so
+/// integer-literal inference flows through `random_range(0..n)` exactly
+/// as it does with `rand` (a concrete per-type impl set would default
+/// ambiguous literals to `i32`).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// A sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut SmallRng, lo: Self, hi: Self) -> Self;
+    /// A sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut SmallRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+    #[inline]
+    fn sample_inclusive(rng: &mut SmallRng, lo: Self, hi: Self) -> Self {
+        Self::sample_half_open(rng, lo, hi)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut SmallRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let vals: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn from_seed_rejects_all_zero_state() {
+        let mut r = SmallRng::from_seed([0u8; 32]);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range_and_covers_it() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| r.random_bool(0.3)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "observed {frac}");
+        assert!(r.random_bool(1.0));
+        assert!(!r.random_bool(0.0));
+    }
+
+    #[test]
+    fn range_sampling_is_uniform_and_bounded() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.random_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+        for _ in 0..1_000 {
+            let v: u32 = r.random_range(3..=9u32);
+            assert!((3..=9).contains(&v));
+            let f: f64 = r.random_range(0.35..0.65);
+            assert!((0.35..0.65).contains(&f));
+            let s: i64 = r.random_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let _: usize = r.random_range(3..3usize);
+    }
+}

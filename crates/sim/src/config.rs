@@ -32,17 +32,29 @@ impl Default for SimConfig {
 /// Reads the measurement budget from `ATR_SIM_WARMUP` / `ATR_SIM_INSTS`,
 /// defaulting to a quick 40k/160k pass (the paper simulates 10M-weighted
 /// simpoints; scale up for full runs).
+///
+/// A malformed value is *not* silently swallowed: it falls back to the
+/// default with a one-line warning on stderr, so a typo in a sweep
+/// script cannot quietly produce default-budget numbers.
 #[must_use]
 pub fn budget_from_env() -> (u64, u64) {
-    let warmup = std::env::var("ATR_SIM_WARMUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(40_000);
-    let measure = std::env::var("ATR_SIM_INSTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(160_000);
-    (warmup, measure)
+    (env_u64("ATR_SIM_WARMUP", 40_000), env_u64("ATR_SIM_INSTS", 160_000))
+}
+
+fn env_u64(var: &str, default: u64) -> u64 {
+    match std::env::var(var) {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring malformed {var}={raw:?} (expected an \
+                     unsigned instruction count); using default {default}"
+                );
+                default
+            }
+        },
+        Err(_) => default,
+    }
 }
 
 /// Renders the Table 1 parameter table from the live configuration, so
@@ -77,18 +89,27 @@ pub fn table1(cfg: &CoreConfig) -> Vec<(String, String)> {
         ("FT block size".to_owned(), format!("{} B", cfg.fetch_block_bytes)),
     ];
     let kib = |b: usize| format!("{} KiB", b >> 10);
-    rows.push(("L1 instruction cache".to_owned(), format!("{}, {}-way", kib(mem.l1i.size_bytes), mem.l1i.ways)));
-    rows.push(("L1 data cache".to_owned(), format!("{}, {}-way", kib(mem.l1d.size_bytes), mem.l1d.ways)));
-    rows.push(("L2 unified cache".to_owned(), format!("{}, {}-way", kib(mem.l2.size_bytes), mem.l2.ways)));
-    rows.push(("LLC unified cache".to_owned(), format!("{}, {}-way", kib(mem.llc.size_bytes), mem.llc.ways)));
+    rows.push((
+        "L1 instruction cache".to_owned(),
+        format!("{}, {}-way", kib(mem.l1i.size_bytes), mem.l1i.ways),
+    ));
+    rows.push((
+        "L1 data cache".to_owned(),
+        format!("{}, {}-way", kib(mem.l1d.size_bytes), mem.l1d.ways),
+    ));
+    rows.push((
+        "L2 unified cache".to_owned(),
+        format!("{}, {}-way", kib(mem.l2.size_bytes), mem.l2.ways),
+    ));
+    rows.push((
+        "LLC unified cache".to_owned(),
+        format!("{}, {}-way", kib(mem.llc.size_bytes), mem.llc.ways),
+    ));
     rows.push(("L1 D-cache latency".to_owned(), format!("{} cycles", mem.l1d.latency)));
     rows.push(("L1 I-cache latency".to_owned(), format!("{} cycles", mem.l1i.latency)));
     rows.push(("L2 latency".to_owned(), format!("{} cycles", mem.l2.latency)));
     rows.push(("LLC latency".to_owned(), format!("{} cycles", mem.llc.latency)));
-    rows.push((
-        "Memory".to_owned(),
-        format!("DDR4-3200-like ({} channels)", mem.dram.channels),
-    ));
+    rows.push(("Memory".to_owned(), format!("DDR4-3200-like ({} channels)", mem.dram.channels)));
     rows
 }
 
@@ -101,10 +122,7 @@ mod tests {
         let cfg = CoreConfig::default();
         let rows = table1(&cfg);
         let find = |k: &str| {
-            rows.iter()
-                .find(|(key, _)| key.contains(k))
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default()
+            rows.iter().find(|(key, _)| key.contains(k)).map(|(_, v)| v.clone()).unwrap_or_default()
         };
         assert_eq!(find("ROB"), "512 entries");
         assert_eq!(find("Reservation"), "160 entries");
@@ -117,5 +135,23 @@ mod tests {
     fn golden_cove_uses_env_budget() {
         let cfg = SimConfig::golden_cove();
         assert!(cfg.warmup > 0 && cfg.measure > 0);
+    }
+
+    #[test]
+    fn budget_env_parsing_accepts_valid_and_rejects_malformed() {
+        // All env manipulation lives in this one test: parallel tests
+        // never observe the transient state of these two variables.
+        std::env::set_var("ATR_SIM_WARMUP", "1234");
+        std::env::set_var("ATR_SIM_INSTS", " 5678 ");
+        assert_eq!(budget_from_env(), (1234, 5678));
+
+        std::env::set_var("ATR_SIM_WARMUP", "not-a-number");
+        std::env::set_var("ATR_SIM_INSTS", "-5");
+        // Malformed values warn on stderr and fall back to the defaults.
+        assert_eq!(budget_from_env(), (40_000, 160_000));
+
+        std::env::remove_var("ATR_SIM_WARMUP");
+        std::env::remove_var("ATR_SIM_INSTS");
+        assert_eq!(budget_from_env(), (40_000, 160_000));
     }
 }

@@ -1,0 +1,181 @@
+//! Parallel execution of simulation points over a scoped worker pool.
+//!
+//! Points are independent deterministic simulations, so they can run on
+//! any worker in any order; results are returned index-aligned with the
+//! input slice, which keeps the output bit-identical to a serial pass.
+//! Uses only `std::thread::scope` — no external dependencies.
+//!
+//! Environment knobs:
+//!
+//! * `ATR_SIM_THREADS` — worker count (default: available cores).
+//! * `ATR_SIM_PROGRESS=0` — silence the per-point progress lines.
+
+use crate::matrix::SimPoint;
+use crate::runner::{run, RunResult, RunSpec};
+use atr_pipeline::CoreConfig;
+use atr_workload::spec::all_profiles;
+use atr_workload::Program;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The worker count: `ATR_SIM_THREADS` if set and valid, otherwise the
+/// machine's available parallelism.
+#[must_use]
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("ATR_SIM_THREADS") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!(
+                "warning: ignoring malformed ATR_SIM_THREADS={raw:?} (expected a positive count)"
+            ),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn progress_enabled() -> bool {
+    std::env::var("ATR_SIM_PROGRESS").map_or(true, |v| v != "0")
+}
+
+/// Executes every point, in parallel, against the base core config.
+/// The result vector is index-aligned with `points`.
+///
+/// # Panics
+///
+/// Panics if a point names a profile `atr_workload::spec` does not know.
+#[must_use]
+pub fn execute(core: &CoreConfig, points: &[SimPoint]) -> Vec<RunResult> {
+    execute_with(core, points, thread_count())
+}
+
+/// [`execute`] with an explicit worker count (1 = serial). Exposed so
+/// the determinism tests can compare serial and parallel passes.
+#[must_use]
+pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> Vec<RunResult> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    // Generate each distinct profile's static program once up front:
+    // points overwhelmingly share profiles, and generation is pure, so
+    // prebuilding changes nothing but the wall clock.
+    let known: HashMap<&'static str, _> = all_profiles().into_iter().map(|p| (p.name, p)).collect();
+    let mut programs: HashMap<&'static str, Arc<Program>> = HashMap::new();
+    for point in points {
+        if !programs.contains_key(point.profile) {
+            let profile = known
+                .get(point.profile)
+                .unwrap_or_else(|| panic!("unknown profile in SimPoint: {}", point.profile));
+            programs.insert(point.profile, profile.build());
+        }
+    }
+    let workers = threads.clamp(1, points.len());
+    let progress = progress_enabled();
+    let t0 = Instant::now();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+
+    let mut results: Vec<Option<RunResult>> = Vec::new();
+    results.resize_with(points.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let next = &next;
+            let done = &done;
+            let programs = &programs;
+            handles.push(scope.spawn(move || {
+                let mut produced: Vec<(usize, RunResult)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= points.len() {
+                        return produced;
+                    }
+                    let point = &points[idx];
+                    let started = Instant::now();
+                    let result = run_point(core, programs[point.profile].clone(), point);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if progress {
+                        eprintln!(
+                            "[matrix {:>4}/{:<4} {:>7.1?}] {} ({:.0?})",
+                            finished,
+                            points.len(),
+                            t0.elapsed(),
+                            point.label(),
+                            started.elapsed(),
+                        );
+                    }
+                    produced.push((idx, result));
+                }
+            }));
+        }
+        for handle in handles {
+            for (idx, result) in handle.join().expect("simulation worker panicked") {
+                results[idx] = Some(result);
+            }
+        }
+    });
+
+    results.into_iter().map(|r| r.expect("every index claimed by exactly one worker")).collect()
+}
+
+fn run_point(core: &CoreConfig, program: Arc<Program>, point: &SimPoint) -> RunResult {
+    let mut cfg = core.clone();
+    point.tweak.apply(&mut cfg);
+    let spec = RunSpec {
+        scheme: point.scheme,
+        rf_size: point.rf_size,
+        warmup: point.warmup,
+        measure: point.measure,
+        collect_events: point.collect_events,
+    };
+    run(&cfg, program, &spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_core::ReleaseScheme;
+
+    #[test]
+    fn results_align_with_input_order() {
+        let points = vec![
+            SimPoint::new("505.mcf_r", ReleaseScheme::Baseline, 64, 50, 200),
+            SimPoint::new("548.exchange2_r", ReleaseScheme::Baseline, 224, 50, 200),
+        ];
+        let serial = execute_with(&CoreConfig::default(), &points, 1);
+        assert_eq!(serial.len(), 2);
+        // exchange2 at 224 registers must comfortably out-run mcf at 64:
+        // order inversion here would mean results got shuffled.
+        assert!(serial[1].ipc > serial[0].ipc);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    /// Event collection is observation-only: the lifetime log records
+    /// what the renamer does but feeds nothing back into scheduling, so
+    /// timing is bit-identical with and without it. (`stats.markings`
+    /// may differ — the log enables region marking under schemes that
+    /// would otherwise skip it — but no timed quantity does.) This is
+    /// what lets `RunMatrix::ensure` serve a non-events point from its
+    /// `.with_events()` twin.
+    #[test]
+    fn event_collection_does_not_change_timing() {
+        for scheme in [ReleaseScheme::Baseline, ReleaseScheme::Atr { redefine_delay: 0 }] {
+            let plain = SimPoint::new("505.mcf_r", scheme, 64, 50, 200);
+            let events = plain.clone().with_events();
+            let r = execute_with(&CoreConfig::default(), &[plain, events], 1);
+            assert_eq!(r[0].ipc.to_bits(), r[1].ipc.to_bits());
+            assert_eq!(r[0].stats.cycles, r[1].stats.cycles);
+            assert_eq!(r[0].stats.retired, r[1].stats.retired);
+            assert_eq!(r[0].stats.flushes, r[1].stats.flushes);
+            assert_eq!(r[0].avg_int_occupancy.to_bits(), r[1].avg_int_occupancy.to_bits());
+            assert_eq!(r[0].avg_fp_occupancy.to_bits(), r[1].avg_fp_occupancy.to_bits());
+            assert!(r[0].lifetimes.is_empty() && !r[1].lifetimes.is_empty());
+        }
+    }
+}

@@ -1,4 +1,13 @@
-//! One function per evaluation artifact (figure) of the paper.
+//! One function per evaluation artifact (figure) of the paper, built on
+//! the run-matrix engine.
+//!
+//! Every figure is expressed as a pure `points → assemble` pair:
+//! `figNN_points` declares the exact [`SimPoint`]s the figure needs and
+//! `figNN_assemble` folds cached results into rows. The one-shot
+//! `figNN(sim)` wrappers run a private [`RunMatrix`]; a shared matrix
+//! (see `all_experiments`) deduplicates across figures — fig01, fig10,
+//! fig11, and fig15 all request overlapping `Baseline` points that then
+//! simulate exactly once.
 //!
 //! Every function returns plain serializable rows; the `atr-bench`
 //! binaries print them (and `report::render_table` formats them as
@@ -7,10 +16,11 @@
 //! `ATR_SIM_INSTS` environment variables.
 
 use crate::config::SimConfig;
-use crate::runner::{geomean, run_profile, RunSpec};
+use crate::matrix::{CoreTweak, RunMatrix, SimPoint};
+use crate::runner::geomean;
 use atr_core::ReleaseScheme;
+use atr_json::json_record;
 use atr_workload::spec::{all_profiles, spec2017_fp, spec2017_int, SpecProfile, WorkloadClass};
-use serde::Serialize;
 
 /// RF sizes swept by Fig 1 / Fig 11 (the paper's 64…280 plus a
 /// practically infinite point for normalization).
@@ -18,14 +28,21 @@ pub const RF_SWEEP: [usize; 8] = [64, 96, 128, 160, 192, 224, 256, 280];
 /// "Infinite" register file used as the normalization baseline.
 pub const RF_INFINITE: usize = 2048;
 
-fn spec_of(sim: &SimConfig, scheme: ReleaseScheme, rf: usize) -> RunSpec {
-    RunSpec {
-        scheme,
-        rf_size: rf,
-        warmup: sim.warmup,
-        measure: sim.measure,
-        collect_events: false,
-    }
+/// The three early-release schemes Fig 10 compares against the baseline.
+const FIG10_SCHEMES: [ReleaseScheme; 3] = [
+    ReleaseScheme::NonSpecEr,
+    ReleaseScheme::Atr { redefine_delay: 0 },
+    ReleaseScheme::Combined { redefine_delay: 0 },
+];
+
+fn pt(sim: &SimConfig, profile: &'static str, scheme: ReleaseScheme, rf: usize) -> SimPoint {
+    SimPoint::new(profile, scheme, rf, sim.warmup, sim.measure)
+}
+
+/// The lifetime-log point shared by every analysis figure (4/6/12/14):
+/// the baseline scheme at the paper's 280-register design point.
+fn events_point(sim: &SimConfig, profile: &'static str) -> SimPoint {
+    pt(sim, profile, ReleaseScheme::Baseline, 280).with_events()
 }
 
 fn class_of(p: &SpecProfile) -> &'static str {
@@ -35,11 +52,25 @@ fn class_of(p: &SpecProfile) -> &'static str {
     }
 }
 
+fn reg_class_of(p: &SpecProfile) -> atr_isa::RegClass {
+    match p.class {
+        WorkloadClass::Int => atr_isa::RegClass::Int,
+        WorkloadClass::Fp => atr_isa::RegClass::Fp,
+    }
+}
+
+/// Runs one figure's `points → assemble` pair on a private matrix.
+fn solo<R>(sim: &SimConfig, points: Vec<SimPoint>, assemble: impl FnOnce(&RunMatrix) -> R) -> R {
+    let mut matrix = RunMatrix::new();
+    matrix.ensure(&sim.core, &points);
+    assemble(&matrix)
+}
+
 // ------------------------------------------------------------- Fig 1
 
 /// One point of Fig 1: baseline IPC at a given RF size, normalized to
 /// the infinite-RF IPC of the same benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig01Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -48,16 +79,29 @@ pub struct Fig01Row {
     /// IPC / IPC(infinite registers).
     pub normalized_ipc: f64,
 }
+json_record!(Fig01Row { benchmark, rf_size, normalized_ipc });
 
-/// Fig 1: normalized baseline IPC across register file sizes
-/// (SPEC2017int).
+/// The simulation points Fig 1 needs.
 #[must_use]
-pub fn fig01(sim: &SimConfig) -> Vec<Fig01Row> {
+pub fn fig01_points(sim: &SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for p in spec2017_int() {
+        points.push(pt(sim, p.name, ReleaseScheme::Baseline, RF_INFINITE));
+        for &rf in &RF_SWEEP {
+            points.push(pt(sim, p.name, ReleaseScheme::Baseline, rf));
+        }
+    }
+    points
+}
+
+/// Assembles Fig 1 rows from an ensured matrix.
+#[must_use]
+pub fn fig01_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig01Row> {
     let mut rows = Vec::new();
     for p in spec2017_int() {
-        let ideal = run_profile(&sim.core, &p, &spec_of(sim, ReleaseScheme::Baseline, RF_INFINITE)).ipc;
+        let ideal = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, RF_INFINITE));
         for &rf in &RF_SWEEP {
-            let ipc = run_profile(&sim.core, &p, &spec_of(sim, ReleaseScheme::Baseline, rf)).ipc;
+            let ipc = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf));
             rows.push(Fig01Row {
                 benchmark: p.name.to_owned(),
                 rf_size: rf,
@@ -73,6 +117,13 @@ pub fn fig01(sim: &SimConfig) -> Vec<Fig01Row> {
     rows
 }
 
+/// Fig 1: normalized baseline IPC across register file sizes
+/// (SPEC2017int).
+#[must_use]
+pub fn fig01(sim: &SimConfig) -> Vec<Fig01Row> {
+    solo(sim, fig01_points(sim), |m| fig01_assemble(sim, m))
+}
+
 /// Average of Fig 1 rows at one RF size.
 #[must_use]
 pub fn fig01_average(rows: &[Fig01Row], rf: usize) -> f64 {
@@ -82,7 +133,7 @@ pub fn fig01_average(rows: &[Fig01Row], rf: usize) -> f64 {
 // ------------------------------------------------------------- Fig 4
 
 /// One suite's lifecycle breakdown (Fig 4).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig04Row {
     /// Benchmark (or suite-average) name.
     pub benchmark: String,
@@ -95,20 +146,21 @@ pub struct Fig04Row {
     /// Fraction verified-unused (non-speculative opportunity).
     pub verified_unused: f64,
 }
+json_record!(Fig04Row { benchmark, class, in_use, unused, verified_unused });
 
-/// Fig 4: register lifecycle cycle distribution under the baseline
-/// scheme, per benchmark plus suite averages.
+/// The simulation points Fig 4 needs (shared with Figs 6/12/14).
 #[must_use]
-pub fn fig04(sim: &SimConfig) -> Vec<Fig04Row> {
+pub fn fig04_points(sim: &SimConfig) -> Vec<SimPoint> {
+    all_profiles().iter().map(|p| events_point(sim, p.name)).collect()
+}
+
+/// Assembles Fig 4 rows from an ensured matrix.
+#[must_use]
+pub fn fig04_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig04Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
-        let r = run_profile(&sim.core, &p, &spec);
-        let reg_class = match p.class {
-            WorkloadClass::Int => atr_isa::RegClass::Int,
-            WorkloadClass::Fp => atr_isa::RegClass::Fp,
-        };
-        let b = atr_analysis::lifecycle_breakdown(&r.lifetimes, reg_class);
+        let r = matrix.get(&events_point(sim, p.name));
+        let b = atr_analysis::lifecycle_breakdown(&r.lifetimes, reg_class_of(&p));
         rows.push(Fig04Row {
             benchmark: p.name.to_owned(),
             class: class_of(&p).to_owned(),
@@ -132,10 +184,17 @@ pub fn fig04(sim: &SimConfig) -> Vec<Fig04Row> {
     rows
 }
 
+/// Fig 4: register lifecycle cycle distribution under the baseline
+/// scheme, per benchmark plus suite averages.
+#[must_use]
+pub fn fig04(sim: &SimConfig) -> Vec<Fig04Row> {
+    solo(sim, fig04_points(sim), |m| fig04_assemble(sim, m))
+}
+
 // ------------------------------------------------------------- Fig 6
 
 /// One benchmark's region ratios (Fig 6).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig06Row {
     /// Benchmark (or suite-average) name.
     pub benchmark: String,
@@ -148,19 +207,21 @@ pub struct Fig06Row {
     /// Fraction in atomic commit regions.
     pub atomic: f64,
 }
+json_record!(Fig06Row { benchmark, class, non_branch, non_except, atomic });
 
-/// Fig 6: atomic register ratios per benchmark plus suite averages.
+/// The simulation points Fig 6 needs (shared with Figs 4/12/14).
 #[must_use]
-pub fn fig06(sim: &SimConfig) -> Vec<Fig06Row> {
+pub fn fig06_points(sim: &SimConfig) -> Vec<SimPoint> {
+    fig04_points(sim)
+}
+
+/// Assembles Fig 6 rows from an ensured matrix.
+#[must_use]
+pub fn fig06_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig06Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
-        let r = run_profile(&sim.core, &p, &spec);
-        let reg_class = match p.class {
-            WorkloadClass::Int => atr_isa::RegClass::Int,
-            WorkloadClass::Fp => atr_isa::RegClass::Fp,
-        };
-        let ratios = atr_analysis::region_ratios(&r.lifetimes, reg_class, true);
+        let r = matrix.get(&events_point(sim, p.name));
+        let ratios = atr_analysis::region_ratios(&r.lifetimes, reg_class_of(&p), true);
         rows.push(Fig06Row {
             benchmark: p.name.to_owned(),
             class: class_of(&p).to_owned(),
@@ -183,10 +244,16 @@ pub fn fig06(sim: &SimConfig) -> Vec<Fig06Row> {
     rows
 }
 
+/// Fig 6: atomic register ratios per benchmark plus suite averages.
+#[must_use]
+pub fn fig06(sim: &SimConfig) -> Vec<Fig06Row> {
+    solo(sim, fig06_points(sim), |m| fig06_assemble(sim, m))
+}
+
 // ------------------------------------------------------------ Fig 10
 
 /// One benchmark × RF size × scheme speedup (Fig 10).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     /// Benchmark (or suite-average) name.
     pub benchmark: String,
@@ -199,28 +266,32 @@ pub struct Fig10Row {
     /// IPC / IPC(baseline at the same RF size).
     pub speedup: f64,
 }
+json_record!(Fig10Row { benchmark, class, rf_size, scheme, speedup });
 
-/// Fig 10: speedup of each early-release scheme over the baseline at 64
-/// and 224 physical registers.
+/// The simulation points Fig 10 needs at the given RF sizes.
 #[must_use]
-pub fn fig10(sim: &SimConfig) -> Vec<Fig10Row> {
-    fig10_at(sim, &[64, 224])
+pub fn fig10_points(sim: &SimConfig, rf_sizes: &[usize]) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for p in all_profiles() {
+        for &rf in rf_sizes {
+            points.push(pt(sim, p.name, ReleaseScheme::Baseline, rf));
+            for scheme in FIG10_SCHEMES {
+                points.push(pt(sim, p.name, scheme, rf));
+            }
+        }
+    }
+    points
 }
 
-/// Fig 10 at caller-chosen RF sizes.
+/// Assembles Fig 10 rows from an ensured matrix.
 #[must_use]
-pub fn fig10_at(sim: &SimConfig, rf_sizes: &[usize]) -> Vec<Fig10Row> {
-    let schemes = [
-        ReleaseScheme::NonSpecEr,
-        ReleaseScheme::Atr { redefine_delay: 0 },
-        ReleaseScheme::Combined { redefine_delay: 0 },
-    ];
+pub fn fig10_assemble(sim: &SimConfig, matrix: &RunMatrix, rf_sizes: &[usize]) -> Vec<Fig10Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
         for &rf in rf_sizes {
-            let baseline = run_profile(&sim.core, &p, &spec_of(sim, ReleaseScheme::Baseline, rf)).ipc;
-            for scheme in schemes {
-                let ipc = run_profile(&sim.core, &p, &spec_of(sim, scheme, rf)).ipc;
+            let baseline = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf));
+            for scheme in FIG10_SCHEMES {
+                let ipc = matrix.ipc(&pt(sim, p.name, scheme, rf));
                 rows.push(Fig10Row {
                     benchmark: p.name.to_owned(),
                     class: class_of(&p).to_owned(),
@@ -235,7 +306,7 @@ pub fn fig10_at(sim: &SimConfig, rf_sizes: &[usize]) -> Vec<Fig10Row> {
     let mut averages = Vec::new();
     for class in ["int", "fp"] {
         for &rf in rf_sizes {
-            for scheme in schemes {
+            for scheme in FIG10_SCHEMES {
                 let member_speedups: Vec<f64> = rows
                     .iter()
                     .filter(|r| r.class == class && r.rf_size == rf && r.scheme == scheme.label())
@@ -255,10 +326,23 @@ pub fn fig10_at(sim: &SimConfig, rf_sizes: &[usize]) -> Vec<Fig10Row> {
     rows
 }
 
+/// Fig 10: speedup of each early-release scheme over the baseline at 64
+/// and 224 physical registers.
+#[must_use]
+pub fn fig10(sim: &SimConfig) -> Vec<Fig10Row> {
+    fig10_at(sim, &[64, 224])
+}
+
+/// Fig 10 at caller-chosen RF sizes.
+#[must_use]
+pub fn fig10_at(sim: &SimConfig, rf_sizes: &[usize]) -> Vec<Fig10Row> {
+    solo(sim, fig10_points(sim, rf_sizes), |m| fig10_assemble(sim, m, rf_sizes))
+}
+
 // ------------------------------------------------------------ Fig 11
 
 /// One suite-average point of Fig 11.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig11Row {
     /// Suite ("int"/"fp").
     pub class: String,
@@ -267,34 +351,53 @@ pub struct Fig11Row {
     /// Geomean speedup of the atomic scheme over the baseline.
     pub speedup: f64,
 }
+json_record!(Fig11Row { class, rf_size, speedup });
 
-/// Fig 11: atomic-scheme speedup over the baseline across RF sizes.
+/// The simulation points Fig 11 needs.
 #[must_use]
-pub fn fig11(sim: &SimConfig) -> Vec<Fig11Row> {
+pub fn fig11_points(sim: &SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for p in all_profiles() {
+        for &rf in &RF_SWEEP {
+            points.push(pt(sim, p.name, ReleaseScheme::Baseline, rf));
+            points.push(pt(sim, p.name, ReleaseScheme::Atr { redefine_delay: 0 }, rf));
+        }
+    }
+    points
+}
+
+/// Assembles Fig 11 rows from an ensured matrix.
+#[must_use]
+pub fn fig11_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for (class, profiles) in [("int", spec2017_int()), ("fp", spec2017_fp())] {
         for &rf in &RF_SWEEP {
             let mut speedups = Vec::new();
             for p in &profiles {
-                let b = run_profile(&sim.core, p, &spec_of(sim, ReleaseScheme::Baseline, rf)).ipc;
-                let a = run_profile(
-                    &sim.core,
-                    p,
-                    &spec_of(sim, ReleaseScheme::Atr { redefine_delay: 0 }, rf),
-                )
-                .ipc;
+                let b = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf));
+                let a = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Atr { redefine_delay: 0 }, rf));
                 speedups.push(a / b.max(1e-9));
             }
-            rows.push(Fig11Row { class: class.to_owned(), rf_size: rf, speedup: geomean(speedups) });
+            rows.push(Fig11Row {
+                class: class.to_owned(),
+                rf_size: rf,
+                speedup: geomean(speedups),
+            });
         }
     }
     rows
 }
 
+/// Fig 11: atomic-scheme speedup over the baseline across RF sizes.
+#[must_use]
+pub fn fig11(sim: &SimConfig) -> Vec<Fig11Row> {
+    solo(sim, fig11_points(sim), |m| fig11_assemble(sim, m))
+}
+
 // ------------------------------------------------------------ Fig 12
 
 /// One benchmark's consumer distribution (Fig 12).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig12Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -305,19 +408,21 @@ pub struct Fig12Row {
     /// Mean consumers per atomic region.
     pub mean: f64,
 }
+json_record!(Fig12Row { benchmark, class, buckets, mean });
 
-/// Fig 12: consumers per atomic region, per benchmark.
+/// The simulation points Fig 12 needs (shared with Figs 4/6/14).
 #[must_use]
-pub fn fig12(sim: &SimConfig) -> Vec<Fig12Row> {
+pub fn fig12_points(sim: &SimConfig) -> Vec<SimPoint> {
+    fig04_points(sim)
+}
+
+/// Assembles Fig 12 rows from an ensured matrix.
+#[must_use]
+pub fn fig12_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig12Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
-        let r = run_profile(&sim.core, &p, &spec);
-        let reg_class = match p.class {
-            WorkloadClass::Int => atr_isa::RegClass::Int,
-            WorkloadClass::Fp => atr_isa::RegClass::Fp,
-        };
-        let h = atr_analysis::consumer_histogram(&r.lifetimes, reg_class, 7);
+        let r = matrix.get(&events_point(sim, p.name));
+        let h = atr_analysis::consumer_histogram(&r.lifetimes, reg_class_of(&p), 7);
         rows.push(Fig12Row {
             benchmark: p.name.to_owned(),
             class: class_of(&p).to_owned(),
@@ -328,10 +433,16 @@ pub fn fig12(sim: &SimConfig) -> Vec<Fig12Row> {
     rows
 }
 
+/// Fig 12: consumers per atomic region, per benchmark.
+#[must_use]
+pub fn fig12(sim: &SimConfig) -> Vec<Fig12Row> {
+    solo(sim, fig12_points(sim), |m| fig12_assemble(sim, m))
+}
+
 // ------------------------------------------------------------ Fig 13
 
 /// One suite × delay point of Fig 13.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig13Row {
     /// Suite ("int"/"fp").
     pub class: String,
@@ -341,23 +452,35 @@ pub struct Fig13Row {
     /// at 64 registers.
     pub speedup: f64,
 }
+json_record!(Fig13Row { class, delay, speedup });
 
-/// Fig 13: sensitivity of the atomic scheme to pipelining the marking
-/// logic by 0/1/2 cycles.
+/// The simulation points Fig 13 needs — one entry per simulator
+/// invocation the naive serial implementation performed (it re-ran
+/// every profile's baseline once *per delay*); the matrix collapses
+/// the repeats.
 #[must_use]
-pub fn fig13(sim: &SimConfig) -> Vec<Fig13Row> {
+pub fn fig13_points(sim: &SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for p in all_profiles() {
+        for delay in [0u32, 1, 2] {
+            points.push(pt(sim, p.name, ReleaseScheme::Baseline, 64));
+            points.push(pt(sim, p.name, ReleaseScheme::Atr { redefine_delay: delay }, 64));
+        }
+    }
+    points
+}
+
+/// Assembles Fig 13 rows from an ensured matrix.
+#[must_use]
+pub fn fig13_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig13Row> {
     let mut rows = Vec::new();
     for (class, profiles) in [("int", spec2017_int()), ("fp", spec2017_fp())] {
         for delay in [0u32, 1, 2] {
             let mut speedups = Vec::new();
             for p in &profiles {
-                let b = run_profile(&sim.core, p, &spec_of(sim, ReleaseScheme::Baseline, 64)).ipc;
-                let a = run_profile(
-                    &sim.core,
-                    p,
-                    &spec_of(sim, ReleaseScheme::Atr { redefine_delay: delay }, 64),
-                )
-                .ipc;
+                let b = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, 64));
+                let a =
+                    matrix.ipc(&pt(sim, p.name, ReleaseScheme::Atr { redefine_delay: delay }, 64));
                 speedups.push(a / b.max(1e-9));
             }
             rows.push(Fig13Row { class: class.to_owned(), delay, speedup: geomean(speedups) });
@@ -366,10 +489,17 @@ pub fn fig13(sim: &SimConfig) -> Vec<Fig13Row> {
     rows
 }
 
+/// Fig 13: sensitivity of the atomic scheme to pipelining the marking
+/// logic by 0/1/2 cycles.
+#[must_use]
+pub fn fig13(sim: &SimConfig) -> Vec<Fig13Row> {
+    solo(sim, fig13_points(sim), |m| fig13_assemble(sim, m))
+}
+
 // ------------------------------------------------------------ Fig 14
 
 /// One benchmark's region cycle gaps (Fig 14).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig14Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -382,19 +512,27 @@ pub struct Fig14Row {
     /// Mean cycles rename → redefiner commit.
     pub rename_to_commit: f64,
 }
+json_record!(Fig14Row {
+    benchmark,
+    class,
+    rename_to_redefine,
+    rename_to_consume,
+    rename_to_commit,
+});
 
-/// Fig 14: average cycle gaps within atomic commit regions.
+/// The simulation points Fig 14 needs (shared with Figs 4/6/12).
 #[must_use]
-pub fn fig14(sim: &SimConfig) -> Vec<Fig14Row> {
+pub fn fig14_points(sim: &SimConfig) -> Vec<SimPoint> {
+    fig04_points(sim)
+}
+
+/// Assembles Fig 14 rows from an ensured matrix.
+#[must_use]
+pub fn fig14_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig14Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let spec = spec_of(sim, ReleaseScheme::Baseline, 280).with_events();
-        let r = run_profile(&sim.core, &p, &spec);
-        let reg_class = match p.class {
-            WorkloadClass::Int => atr_isa::RegClass::Int,
-            WorkloadClass::Fp => atr_isa::RegClass::Fp,
-        };
-        let g = atr_analysis::atomic_region_gaps(&r.lifetimes, reg_class);
+        let r = matrix.get(&events_point(sim, p.name));
+        let g = atr_analysis::atomic_region_gaps(&r.lifetimes, reg_class_of(&p));
         rows.push(Fig14Row {
             benchmark: p.name.to_owned(),
             class: class_of(&p).to_owned(),
@@ -406,10 +544,16 @@ pub fn fig14(sim: &SimConfig) -> Vec<Fig14Row> {
     rows
 }
 
+/// Fig 14: average cycle gaps within atomic commit regions.
+#[must_use]
+pub fn fig14(sim: &SimConfig) -> Vec<Fig14Row> {
+    solo(sim, fig14_points(sim), |m| fig14_assemble(sim, m))
+}
+
 // ------------------------------------------------------------ Fig 15
 
 /// One scheme's register-requirement result (Fig 15).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig15Row {
     /// Scheme label.
     pub scheme: String,
@@ -419,30 +563,44 @@ pub struct Fig15Row {
     /// Relative reduction versus 280 registers.
     pub reduction: f64,
 }
+json_record!(Fig15Row { scheme, required_rf, reduction });
 
-/// Fig 15: the smallest register file for which each scheme's mean IPC
-/// stays within `tolerance` (paper: 3%) of the 280-register baseline.
-///
-/// Measures each scheme once on the fixed [`RF_SWEEP`] grid and
-/// interpolates the crossing point linearly between grid neighbours
-/// (rounded outward to `step` entries), which bounds the cost at
-/// `4 schemes × 8 sizes × 23 profiles` regardless of where the
-/// crossings fall.
+/// The simulation points Fig 15 needs: every scheme on the fixed
+/// [`RF_SWEEP`] grid, plus the 280-register baseline references (which
+/// the grid already contains — the matrix deduplicates them).
 #[must_use]
-pub fn fig15(sim: &SimConfig, tolerance: f64, step: usize) -> Vec<Fig15Row> {
+pub fn fig15_points(sim: &SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for p in all_profiles() {
+        points.push(pt(sim, p.name, ReleaseScheme::Baseline, 280));
+        for scheme in ReleaseScheme::ALL {
+            for &rf in &RF_SWEEP {
+                points.push(pt(sim, p.name, scheme, rf));
+            }
+        }
+    }
+    points
+}
+
+/// Assembles Fig 15 rows from an ensured matrix.
+#[must_use]
+pub fn fig15_assemble(
+    sim: &SimConfig,
+    matrix: &RunMatrix,
+    tolerance: f64,
+    step: usize,
+) -> Vec<Fig15Row> {
     let profiles = all_profiles();
     let reference: Vec<f64> = profiles
         .iter()
-        .map(|p| run_profile(&sim.core, p, &spec_of(sim, ReleaseScheme::Baseline, 280)).ipc)
+        .map(|p| matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, 280)))
         .collect();
 
     let mean_rel = |scheme: ReleaseScheme, rf: usize| -> f64 {
         let rel: Vec<f64> = profiles
             .iter()
             .zip(&reference)
-            .map(|(p, &r0)| {
-                run_profile(&sim.core, p, &spec_of(sim, scheme, rf)).ipc / r0.max(1e-9)
-            })
+            .map(|(p, &r0)| matrix.ipc(&pt(sim, p.name, scheme, rf)) / r0.max(1e-9))
             .collect();
         geomean(rel)
     };
@@ -482,6 +640,143 @@ pub fn fig15(sim: &SimConfig, tolerance: f64, step: usize) -> Vec<Fig15Row> {
         .collect()
 }
 
+/// Fig 15: the smallest register file for which each scheme's mean IPC
+/// stays within `tolerance` (paper: 3%) of the 280-register baseline.
+///
+/// Measures each scheme once on the fixed [`RF_SWEEP`] grid and
+/// interpolates the crossing point linearly between grid neighbours
+/// (rounded outward to `step` entries), which bounds the cost at
+/// `4 schemes × 8 sizes × 23 profiles` regardless of where the
+/// crossings fall — and the matrix cache means the whole grid is
+/// simulated once, not once per scheme query.
+#[must_use]
+pub fn fig15(sim: &SimConfig, tolerance: f64, step: usize) -> Vec<Fig15Row> {
+    solo(sim, fig15_points(sim), |m| fig15_assemble(sim, m, tolerance, step))
+}
+
+// -------------------------------------------------------- Ablations
+
+/// One ablation data point.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Which ablation ("move-elim", "counter-width", "checkpoint").
+    pub study: String,
+    /// Variant label.
+    pub variant: String,
+    /// Geomean IPC relative to the study's reference variant.
+    pub relative_ipc: f64,
+}
+json_record!(AblationRow { study, variant, relative_ipc });
+
+fn move_elim_point(sim: &SimConfig, profile: &'static str, elim: bool) -> SimPoint {
+    pt(sim, profile, ReleaseScheme::Atr { redefine_delay: 0 }, 64)
+        .with_tweak(CoreTweak { move_elimination: Some(elim), ..CoreTweak::default() })
+}
+
+/// The simulation points the §6 move-elimination ablation needs.
+#[must_use]
+pub fn ablation_move_elimination_points(sim: &SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for p in spec2017_int() {
+        for elim in [false, true] {
+            points.push(move_elim_point(sim, p.name, elim));
+        }
+    }
+    points
+}
+
+/// Assembles the move-elimination ablation from an ensured matrix.
+#[must_use]
+pub fn ablation_move_elimination_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<AblationRow> {
+    let run_with = |elim: bool| -> f64 {
+        geomean(spec2017_int().iter().map(|p| matrix.ipc(&move_elim_point(sim, p.name, elim))))
+    };
+    let off = run_with(false);
+    let on = run_with(true);
+    vec![
+        AblationRow { study: "move-elim".into(), variant: "off".into(), relative_ipc: 1.0 },
+        AblationRow { study: "move-elim".into(), variant: "on".into(), relative_ipc: on / off },
+    ]
+}
+
+/// §6 move-elimination ablation: ATR at 64 registers with and without
+/// move elimination (the paper argues they compose synergistically).
+#[must_use]
+pub fn ablation_move_elimination(sim: &SimConfig) -> Vec<AblationRow> {
+    solo(sim, ablation_move_elimination_points(sim), |m| ablation_move_elimination_assemble(sim, m))
+}
+
+/// Counter widths the §5.4 ablation sweeps (8 is the reference).
+const COUNTER_WIDTHS: [u32; 4] = [2, 3, 4, 8];
+
+fn counter_width_point(sim: &SimConfig, profile: &'static str, width: u32) -> SimPoint {
+    pt(sim, profile, ReleaseScheme::Atr { redefine_delay: 0 }, 64)
+        .with_tweak(CoreTweak { counter_width: Some(width), ..CoreTweak::default() })
+}
+
+/// The simulation points the §5.4 counter-width ablation needs — one
+/// entry per simulator invocation the naive serial implementation
+/// performed (it ran the 8-bit reference separately *and* as a sweep
+/// member); the matrix collapses the repeat, and the sweep's
+/// default-width member canonicalizes onto the untweaked ATR point.
+#[must_use]
+pub fn ablation_counter_width_points(sim: &SimConfig) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for p in spec2017_int() {
+        points.push(counter_width_point(sim, p.name, 8));
+        for width in COUNTER_WIDTHS {
+            points.push(counter_width_point(sim, p.name, width));
+        }
+    }
+    points
+}
+
+/// Assembles the counter-width ablation from an ensured matrix.
+#[must_use]
+pub fn ablation_counter_width_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<AblationRow> {
+    let run_width = |width: u32| -> f64 {
+        geomean(spec2017_int().iter().map(|p| matrix.ipc(&counter_width_point(sim, p.name, width))))
+    };
+    let reference = run_width(8);
+    COUNTER_WIDTHS
+        .into_iter()
+        .map(|w| AblationRow {
+            study: "counter-width".into(),
+            variant: format!("{w}-bit"),
+            relative_ipc: run_width(w) / reference,
+        })
+        .collect()
+}
+
+/// §5.4 consumer-counter-width ablation: ATR with 2/3/4/8-bit counters
+/// at 64 registers (the paper: 3 bits lose nothing vs infinite).
+#[must_use]
+pub fn ablation_counter_width(sim: &SimConfig) -> Vec<AblationRow> {
+    solo(sim, ablation_counter_width_points(sim), |m| ablation_counter_width_assemble(sim, m))
+}
+
+// ------------------------------------------------- Full-pass support
+
+/// Every point of a full experiment pass (the union the
+/// `all_experiments` binary ensures once, before any assembly): the
+/// global-dedup factor reported by [`RunMatrix::summary`] measures
+/// exactly how much cross-figure overlap the engine removes.
+#[must_use]
+pub fn full_pass_points(sim: &SimConfig) -> Vec<SimPoint> {
+    let mut points = fig01_points(sim);
+    points.extend(fig04_points(sim));
+    points.extend(fig06_points(sim));
+    points.extend(fig10_points(sim, &[64, 224]));
+    points.extend(fig11_points(sim));
+    points.extend(fig12_points(sim));
+    points.extend(fig13_points(sim));
+    points.extend(fig14_points(sim));
+    points.extend(fig15_points(sim));
+    points.extend(ablation_move_elimination_points(sim));
+    points.extend(ablation_counter_width_points(sim));
+    points
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,10 +796,8 @@ mod tests {
             rows.iter().all(|r| r.speedup > 0.1 && r.speedup < 10.0),
             "speedups out of sanity band"
         );
-        let avg_int = rows
-            .iter()
-            .find(|r| r.benchmark == "average-int" && r.scheme == "combined")
-            .unwrap();
+        let avg_int =
+            rows.iter().find(|r| r.benchmark == "average-int" && r.scheme == "combined").unwrap();
         assert!(avg_int.speedup > 0.95, "combined should not slow down: {}", avg_int.speedup);
     }
 
@@ -515,92 +808,25 @@ mod tests {
         assert!(get("combined") <= get("baseline"));
         assert!(rows.iter().all(|r| r.required_rf <= 280));
     }
-}
 
-// -------------------------------------------------------- Ablations
-
-/// One ablation data point.
-#[derive(Debug, Clone, Serialize)]
-pub struct AblationRow {
-    /// Which ablation ("move-elim", "counter-width", "checkpoint").
-    pub study: String,
-    /// Variant label.
-    pub variant: String,
-    /// Geomean IPC relative to the study's reference variant.
-    pub relative_ipc: f64,
-}
-
-/// §6 move-elimination ablation: ATR at 64 registers with and without
-/// move elimination (the paper argues they compose synergistically).
-#[must_use]
-pub fn ablation_move_elimination(sim: &SimConfig) -> Vec<AblationRow> {
-    let profiles = spec2017_int();
-    let run_with = |elim: bool| -> f64 {
-        let ipcs: Vec<f64> = profiles
-            .iter()
-            .map(|p| {
-                let mut core_cfg = sim
-                    .core
-                    .clone()
-                    .with_rf_size(64)
-                    .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
-                core_cfg.rename.move_elimination = elim;
-                let spec = RunSpec {
-                    scheme: core_cfg.rename.scheme,
-                    rf_size: 64,
-                    warmup: sim.warmup,
-                    measure: sim.measure,
-                    collect_events: false,
-                };
-                crate::runner::run(&core_cfg, p.build(), &spec).ipc
-            })
-            .collect();
-        geomean(ipcs)
-    };
-    let off = run_with(false);
-    let on = run_with(true);
-    vec![
-        AblationRow { study: "move-elim".into(), variant: "off".into(), relative_ipc: 1.0 },
-        AblationRow { study: "move-elim".into(), variant: "on".into(), relative_ipc: on / off },
-    ]
-}
-
-/// §5.4 consumer-counter-width ablation: ATR with 2/3/4/8-bit counters
-/// at 64 registers (the paper: 3 bits lose nothing vs infinite).
-#[must_use]
-pub fn ablation_counter_width(sim: &SimConfig) -> Vec<AblationRow> {
-    let profiles = spec2017_int();
-    let run_width = |width: u32| -> f64 {
-        let ipcs: Vec<f64> = profiles
-            .iter()
-            .map(|p| {
-                let mut core_cfg = sim
-                    .core
-                    .clone()
-                    .with_rf_size(64)
-                    .with_scheme(ReleaseScheme::Atr { redefine_delay: 0 });
-                core_cfg.rename.counter_width = width;
-                let spec = RunSpec {
-                    scheme: core_cfg.rename.scheme,
-                    rf_size: 64,
-                    warmup: sim.warmup,
-                    measure: sim.measure,
-                    collect_events: false,
-                };
-                crate::runner::run(&core_cfg, p.build(), &spec).ipc
-            })
-            .collect();
-        geomean(ipcs)
-    };
-    let reference = run_width(8);
-    [2u32, 3, 4, 8]
-        .into_iter()
-        .map(|w| AblationRow {
-            study: "counter-width".into(),
-            variant: format!("{w}-bit"),
-            relative_ipc: run_width(w) / reference,
-        })
-        .collect()
+    #[test]
+    fn shared_matrix_reproduces_solo_rows() {
+        // A figure assembled from a shared (over-provisioned) matrix
+        // must produce exactly the rows of its solo wrapper: results
+        // are keyed, not positional.
+        let sim = tiny(500, 2_000);
+        let mut matrix = RunMatrix::new();
+        matrix.ensure(&sim.core, &fig13_points(&sim));
+        matrix.ensure(&sim.core, &fig11_points(&sim));
+        let shared = fig13_assemble(&sim, &matrix);
+        let solo_rows = fig13(&sim);
+        assert_eq!(shared.len(), solo_rows.len());
+        for (a, b) in shared.iter().zip(&solo_rows) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.delay, b.delay);
+            assert_eq!(a.speedup.to_bits(), b.speedup.to_bits(), "rows must be bit-identical");
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! Plain-text table rendering and JSON result persistence for the
 //! experiment binaries.
 
-use serde::Serialize;
+use atr_json::ToJson;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Renders rows of cells as an aligned plain-text table.
 ///
@@ -55,19 +55,33 @@ pub fn gain(speedup: f64) -> String {
     format!("{:+.2}%", (speedup - 1.0) * 100.0)
 }
 
-/// Persists experiment rows as JSON under `results/` (created on
+/// The directory experiment JSON lands in: `ATR_RESULTS_DIR` if set,
+/// otherwise `<workspace root>/results` — so the binaries write to the
+/// same place no matter which directory they are launched from.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("ATR_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // crates/sim/ -> workspace root, resolved at compile time.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate dir has a workspace root")
+        .join("results")
+}
+
+/// Persists experiment rows as JSON under [`results_dir`] (created on
 /// demand), returning the written path.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing.
-pub fn save_json<T: Serialize>(name: &str, rows: &T) -> std::io::Result<std::path::PathBuf> {
-    let dir = Path::new("results");
-    std::fs::create_dir_all(dir)?;
+pub fn save_json<T: ToJson + ?Sized>(name: &str, rows: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let body = serde_json::to_string_pretty(rows)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, body)?;
+    std::fs::write(&path, rows.to_json().pretty())?;
     Ok(path)
 }
 
@@ -79,10 +93,7 @@ mod tests {
     fn table_alignment_pads_columns() {
         let t = render_table(
             &["a", "bench"],
-            &[
-                vec!["1".to_owned(), "x".to_owned()],
-                vec!["22".to_owned(), "yy".to_owned()],
-            ],
+            &[vec!["1".to_owned(), "x".to_owned()], vec!["22".to_owned(), "yy".to_owned()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -95,5 +106,23 @@ mod tests {
         assert_eq!(pct(0.1234), "12.34%");
         assert_eq!(gain(1.0513), "+5.13%");
         assert_eq!(gain(0.97), "-3.00%");
+    }
+
+    #[test]
+    fn results_dir_override_and_fallback() {
+        // One test covers both paths so no parallel test observes the
+        // transient env-var state.
+        let dir = std::env::temp_dir().join("atr_sim_report_test");
+        std::env::set_var("ATR_RESULTS_DIR", &dir);
+        let path = save_json("unit_test_rows", &vec![1.5f64, 2.0]).unwrap();
+        std::env::remove_var("ATR_RESULTS_DIR");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("1.5"));
+        assert!(path.starts_with(&dir));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let fallback = results_dir();
+        assert!(fallback.ends_with("results"));
+        assert!(fallback.parent().unwrap().join("Cargo.toml").exists());
     }
 }

@@ -56,18 +56,14 @@ pub struct RunResult {
 /// scheme/RF size/event collection is taken from `base`).
 #[must_use]
 pub fn run(base: &CoreConfig, program: Arc<Program>, spec: &RunSpec) -> RunResult {
-    let mut cfg = base
-        .clone()
-        .with_rf_size(spec.rf_size)
-        .with_scheme(spec.scheme);
+    let mut cfg = base.clone().with_rf_size(spec.rf_size).with_scheme(spec.scheme);
     cfg.rename.collect_events = spec.collect_events;
     let mut core = OooCore::new(cfg, Oracle::new(program));
     let s0 = if spec.warmup > 0 { core.run(spec.warmup) } else { core.snapshot_stats() };
     let s1 = core.run(spec.measure);
     let cycles = (s1.cycles - s0.cycles).max(1);
     let ipc = (s1.retired - s0.retired) as f64 / cycles as f64;
-    let avg_int =
-        (s1.int_prf_occupancy_sum - s0.int_prf_occupancy_sum) as f64 / cycles as f64;
+    let avg_int = (s1.int_prf_occupancy_sum - s0.int_prf_occupancy_sum) as f64 / cycles as f64;
     let avg_fp = (s1.fp_prf_occupancy_sum - s0.fp_prf_occupancy_sum) as f64 / cycles as f64;
     RunResult {
         ipc,
@@ -85,6 +81,10 @@ pub fn run_profile(base: &CoreConfig, profile: &SpecProfile, spec: &RunSpec) -> 
 }
 
 /// Geometric mean of positive values (the paper's average speedups).
+///
+/// An empty input yields `1.0` — the neutral speedup — rather than the
+/// `0/0 → NaN`-prone path a fold would produce, so aggregating an empty
+/// benchmark subset cannot poison a downstream average.
 #[must_use]
 pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut log_sum = 0.0;
@@ -95,7 +95,7 @@ pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
         n += 1;
     }
     if n == 0 {
-        0.0
+        1.0
     } else {
         (log_sum / n as f64).exp()
     }
@@ -113,11 +113,7 @@ mod tests {
     #[test]
     fn measured_window_excludes_warmup() {
         let program = ProfileParams::default().build();
-        let r = run(
-            &CoreConfig::default(),
-            program,
-            &quick_spec(ReleaseScheme::Baseline, 128),
-        );
+        let r = run(&CoreConfig::default(), program, &quick_spec(ReleaseScheme::Baseline, 128));
         assert!(r.ipc > 0.05, "ipc {}", r.ipc);
         assert!(r.stats.retired >= 12_000);
         assert!(r.avg_int_occupancy > 16.0, "occupancy {}", r.avg_int_occupancy);
@@ -146,6 +142,13 @@ mod tests {
     #[test]
     fn geomean_basics() {
         assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert_eq!(geomean(std::iter::empty()), 0.0);
+        assert!((geomean([3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_of_empty_input_is_neutral() {
+        let empty = geomean(std::iter::empty());
+        assert_eq!(empty, 1.0, "empty geomean must be the neutral speedup");
+        assert!(empty.is_finite());
     }
 }

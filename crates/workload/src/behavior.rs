@@ -6,8 +6,7 @@
 //! on each architectural execution. All randomness is derived from a
 //! splittable seed, so the dynamic stream is bit-reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use atr_rng::{RngExt, SeedableRng, SmallRng};
 
 /// Dynamic direction/target behaviour of a control-flow instruction.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,11 +61,7 @@ impl BranchState {
         if let BranchBehavior::IndirectUniform { targets } = &behavior {
             assert!(!targets.is_empty(), "indirect behaviour needs at least one target");
         }
-        BranchState {
-            behavior,
-            counter: 0,
-            rng: SmallRng::seed_from_u64(seed),
-        }
+        BranchState { behavior, counter: 0, rng: SmallRng::seed_from_u64(seed) }
     }
 
     /// The next dynamic direction of this branch. For indirect behaviour
@@ -81,7 +76,9 @@ impl BranchState {
                 let t = u64::from((*trip_count).max(1));
                 c % t != t - 1
             }
-            BranchBehavior::Biased { taken_prob } => self.rng.random_bool(taken_prob.clamp(0.0, 1.0)),
+            BranchBehavior::Biased { taken_prob } => {
+                self.rng.random_bool(taken_prob.clamp(0.0, 1.0))
+            }
             BranchBehavior::Pattern { bits } => bits[(c % bits.len() as u64) as usize],
         }
     }
@@ -185,12 +182,7 @@ impl AddrState {
             | AddrPattern::UniformRandom { base, .. }
             | AddrPattern::PointerChase { base, .. } => *base,
         };
-        AddrState {
-            pattern,
-            counter: 0,
-            last,
-            rng: SmallRng::seed_from_u64(seed),
-        }
+        AddrState { pattern, counter: 0, last, rng: SmallRng::seed_from_u64(seed) }
     }
 
     /// The next effective address for this memory instruction.
@@ -262,10 +254,8 @@ mod tests {
     #[test]
     fn indirect_targets_stay_in_set() {
         let targets = vec![0x100, 0x200, 0x300];
-        let mut s = BranchState::new(
-            BranchBehavior::IndirectUniform { targets: targets.clone() },
-            9,
-        );
+        let mut s =
+            BranchState::new(BranchBehavior::IndirectUniform { targets: targets.clone() }, 9);
         assert!(s.is_indirect());
         for _ in 0..50 {
             assert!(s.next_taken());
@@ -282,20 +272,16 @@ mod tests {
 
     #[test]
     fn stride_addresses_advance_and_wrap() {
-        let mut a = AddrState::new(
-            AddrPattern::Stride { base: 0x1000, stride: 64, footprint: 256 },
-            0,
-        );
+        let mut a =
+            AddrState::new(AddrPattern::Stride { base: 0x1000, stride: 64, footprint: 256 }, 0);
         let addrs: Vec<u64> = (0..6).map(|_| a.next_addr()).collect();
         assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0, 0x1000, 0x1040]);
     }
 
     #[test]
     fn negative_stride_wraps_into_region() {
-        let mut a = AddrState::new(
-            AddrPattern::Stride { base: 0x1000, stride: -64, footprint: 256 },
-            0,
-        );
+        let mut a =
+            AddrState::new(AddrPattern::Stride { base: 0x1000, stride: -64, footprint: 256 }, 0);
         let addrs: Vec<u64> = (0..4).map(|_| a.next_addr()).collect();
         for addr in &addrs {
             assert!((0x1000..0x1100).contains(addr), "addr {addr:#x} out of region");
@@ -318,7 +304,8 @@ mod tests {
 
     #[test]
     fn pointer_chase_is_deterministic_and_confined() {
-        let mk = || AddrState::new(AddrPattern::PointerChase { base: 0x10000, footprint: 0x800 }, 5);
+        let mk =
+            || AddrState::new(AddrPattern::PointerChase { base: 0x10000, footprint: 0x800 }, 5);
         let (mut a, mut b) = (mk(), mk());
         for _ in 0..100 {
             let x = a.next_addr();

@@ -25,8 +25,7 @@
 use crate::behavior::{AddrPattern, BranchBehavior};
 use crate::program::{Program, ProgramBuilder};
 use atr_isa::{ArchReg, OpClass};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use atr_rng::{RngExt, SeedableRng, SmallRng};
 use std::sync::Arc;
 
 /// Tunable workload character. See the [module docs](self) for how each
@@ -275,7 +274,8 @@ impl<'a> Gen<'a> {
             self.last_load_dst = Some(dst);
         } else if roll < p.load_frac + p.store_frac {
             let base = self.base_reg();
-            let data = if self.rng.random_bool(p.fp_frac) { self.recent_fp() } else { self.recent_int() };
+            let data =
+                if self.rng.random_bool(p.fp_frac) { self.recent_fp() } else { self.recent_int() };
             let pat = self.addr_pattern();
             self.b.push_store(base, data, pat);
         } else if roll < p.load_frac + p.store_frac + p.div_frac {
@@ -284,7 +284,8 @@ impl<'a> Gen<'a> {
             } else {
                 (self.next_mixed_int(), self.recent_int())
             };
-            let class = if dst.class() == atr_isa::RegClass::Fp { OpClass::FpDiv } else { OpClass::IntDiv };
+            let class =
+                if dst.class() == atr_isa::RegClass::Fp { OpClass::FpDiv } else { OpClass::IntDiv };
             self.b.push_op(class, Some(dst), &[s, s]);
         } else if roll < p.load_frac + p.store_frac + p.div_frac + p.mul_frac {
             if self.rng.random_bool(p.fp_frac) {
@@ -337,7 +338,11 @@ impl<'a> Gen<'a> {
             let dst = if fp { ArchReg::fp(dst_idx) } else { ArchReg::int(dst_idx) };
             cursor += 1;
             let class = if fp {
-                if self.rng.random_bool(0.35) { OpClass::FpMul } else { OpClass::FpAdd }
+                if self.rng.random_bool(0.35) {
+                    OpClass::FpMul
+                } else {
+                    OpClass::FpAdd
+                }
             } else {
                 OpClass::IntAlu
             };
@@ -387,9 +392,9 @@ impl<'a> Gen<'a> {
 
     /// Emits a straight-line block of roughly `avg_block_len` instructions.
     fn emit_block(&mut self) {
-        let len = self
-            .rng
-            .random_range((self.p.avg_block_len.max(2) / 2)..=(self.p.avg_block_len.max(2) * 3 / 2));
+        let len = self.rng.random_range(
+            (self.p.avg_block_len.max(2) / 2)..=(self.p.avg_block_len.max(2) * 3 / 2),
+        );
         let mut emitted = 0;
         while emitted < len {
             if self.rng.random_bool(self.p.burst_frac.clamp(0.0, 1.0)) {

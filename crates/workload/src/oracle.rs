@@ -207,13 +207,7 @@ impl Oracle {
 
         self.pc = outcome.next_pc;
         self.generated += 1;
-        DynInst {
-            seq: idx,
-            sinst: inst,
-            outcome,
-            on_wrong_path: false,
-            oracle_idx: idx,
-        }
+        DynInst { seq: idx, sinst: inst, outcome, on_wrong_path: false, oracle_idx: idx }
     }
 
     fn branch_state(&mut self, pc: u64) -> &mut BranchState {

@@ -257,7 +257,11 @@ impl ProgramBuilder {
             assert!(prev.is_none(), "duplicate PC {:#x}", inst.pc);
             match inst.class {
                 OpClass::CondBranch | OpClass::DirectJump | OpClass::Call => {
-                    assert!(inst.taken_target.is_some(), "direct control flow at {:#x} lacks a target", inst.pc);
+                    assert!(
+                        inst.taken_target.is_some(),
+                        "direct control flow at {:#x} lacks a target",
+                        inst.pc
+                    );
                 }
                 _ => {}
             }

@@ -52,12 +52,7 @@ impl SpecProfile {
 }
 
 fn base_int(name: &'static str, seed: u64) -> ProfileParams {
-    ProfileParams {
-        name: name.to_owned(),
-        seed,
-        fp_frac: 0.02,
-        ..ProfileParams::default()
-    }
+    ProfileParams { name: name.to_owned(), seed, fp_frac: 0.02, ..ProfileParams::default() }
 }
 
 fn base_fp(name: &'static str, seed: u64) -> ProfileParams {

@@ -1,125 +1,125 @@
 //! Property-based tests over the program generator: any parameter point
 //! must yield a closed, deterministic, well-formed program whose oracle
 //! stream never derails.
+//!
+//! Randomness comes from the in-tree `atr-rng` (the container has no
+//! registry access for proptest); each case is seeded deterministically
+//! so a failing seed reproduces the exact parameter point.
 
+use atr_rng::{RngExt, SeedableRng, SmallRng};
 use atr_workload::{Oracle, ProfileParams};
-use proptest::prelude::*;
 
-fn params_strategy() -> impl Strategy<Value = ProfileParams> {
-    (
-        any::<u64>(),
-        0.0f64..0.9,
-        0.05f64..0.35,
-        0.0f64..0.15,
-        0.0f64..1.0,
-        2.0f64..128.0,
-        (0.0f64..1.0, 0.0f64..0.5),
-        (0.0f64..0.6, 2u32..16, 2u32..6, 0.0f64..0.5),
-        (0.0f64..0.4, 0.0f64..0.15),
-        (1u32..6, 2u32..8, 3u32..14),
-    )
-        .prop_map(
-            |(
-                seed,
-                fp_frac,
-                load_frac,
-                store_frac,
-                branch_entropy,
-                loop_trip_mean,
-                (stride_frac, chase_frac_raw),
-                (burst_frac, burst_len, burst_window, burst_hazard),
-                (call_frac, indirect_frac),
-                (num_loop_nests, blocks_per_nest, avg_block_len),
-            )| {
-                ProfileParams {
-                    name: "prop".to_owned(),
-                    seed,
-                    fp_frac,
-                    load_frac,
-                    store_frac,
-                    mul_frac: 0.04,
-                    div_frac: 0.003,
-                    branch_entropy,
-                    loop_trip_mean,
-                    mem_footprint: 1 << 22,
-                    stride_frac,
-                    chase_frac: chase_frac_raw * (1.0 - stride_frac),
-                    burst_frac,
-                    burst_len,
-                    burst_window,
-                    consumer_mean: 1.8,
-                    burst_hazard,
-                    call_frac,
-                    indirect_frac,
-                    num_loop_nests,
-                    blocks_per_nest,
-                    avg_block_len,
-                }
-            },
-        )
+const CASES: u64 = 48;
+
+fn random_params(rng: &mut SmallRng) -> ProfileParams {
+    let stride_frac = rng.random_range(0.0..1.0f64);
+    let chase_frac_raw = rng.random_range(0.0..0.5f64);
+    ProfileParams {
+        name: "prop".to_owned(),
+        seed: rng.random(),
+        fp_frac: rng.random_range(0.0..0.9f64),
+        load_frac: rng.random_range(0.05..0.35f64),
+        store_frac: rng.random_range(0.0..0.15f64),
+        mul_frac: 0.04,
+        div_frac: 0.003,
+        branch_entropy: rng.random_range(0.0..1.0f64),
+        loop_trip_mean: rng.random_range(2.0..128.0f64),
+        mem_footprint: 1 << 22,
+        stride_frac,
+        chase_frac: chase_frac_raw * (1.0 - stride_frac),
+        burst_frac: rng.random_range(0.0..0.6f64),
+        burst_len: rng.random_range(2..16u32),
+        burst_window: rng.random_range(2..6u32),
+        consumer_mean: 1.8,
+        burst_hazard: rng.random_range(0.0..0.5f64),
+        call_frac: rng.random_range(0.0..0.4f64),
+        indirect_frac: rng.random_range(0.0..0.15f64),
+        num_loop_nests: rng.random_range(1..6u32),
+        blocks_per_nest: rng.random_range(2..8u32),
+        avg_block_len: rng.random_range(3..14u32),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `check` against `CASES` random parameter points, reporting the
+/// failing seed for reproduction.
+fn fuzz(name: &str, salt: u64, check: impl Fn(&ProfileParams)) {
+    for case in 0..CASES {
+        let seed = salt + case;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let params = random_params(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&params)));
+        assert!(result.is_ok(), "{name}: case with seed {seed:#x} failed; params: {params:?}");
+    }
+}
 
-    #[test]
-    fn any_parameter_point_builds_a_closed_program(params in params_strategy()) {
+#[test]
+fn any_parameter_point_builds_a_closed_program() {
+    fuzz("closed-program", 0x6E40_0000, |params| {
         let program = params.build();
-        prop_assert!(program.len() > 10);
+        assert!(program.len() > 10);
         // Walk 30k dynamic instructions: the oracle must never fall off
         // the program (panics otherwise), and indices stay consistent.
         let mut oracle = Oracle::new(program);
         for i in 0..30_000u64 {
             let d = *oracle.get(i);
-            prop_assert_eq!(d.oracle_idx, i);
-            prop_assert!(!d.on_wrong_path);
+            assert_eq!(d.oracle_idx, i);
+            assert!(!d.on_wrong_path);
             if i % 4096 == 0 {
                 oracle.release_before(i.saturating_sub(512));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn generation_is_a_pure_function_of_params(params in params_strategy()) {
+#[test]
+fn generation_is_a_pure_function_of_params() {
+    fuzz("pure-function", 0x6E41_0000, |params| {
         let a = params.build();
         let b = params.build();
-        prop_assert_eq!(a.instructions(), b.instructions());
-    }
+        assert_eq!(a.instructions(), b.instructions());
+    });
+}
 
-    #[test]
-    fn oracle_streams_replay_identically(params in params_strategy()) {
+#[test]
+fn oracle_streams_replay_identically() {
+    fuzz("replay", 0x6E42_0000, |params| {
         let program = params.build();
         let mut a = Oracle::new(program.clone());
         let mut b = Oracle::new(program);
         for i in 0..5_000u64 {
-            prop_assert_eq!(a.get(i), b.get(i));
+            assert_eq!(a.get(i), b.get(i));
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_memory_op_gets_an_address(params in params_strategy()) {
+#[test]
+fn every_memory_op_gets_an_address() {
+    fuzz("mem-addr", 0x6E43_0000, |params| {
         let program = params.build();
         let mut oracle = Oracle::new(program);
         for i in 0..10_000u64 {
             let d = *oracle.get(i);
             if d.sinst.class.is_memory() {
-                prop_assert!(d.outcome.mem_addr.is_some());
+                assert!(d.outcome.mem_addr.is_some());
             } else {
-                prop_assert!(d.outcome.mem_addr.is_none());
+                assert!(d.outcome.mem_addr.is_none());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn control_flow_targets_are_real_instructions(params in params_strategy()) {
+#[test]
+fn control_flow_targets_are_real_instructions() {
+    fuzz("control-flow", 0x6E44_0000, |params| {
         let program = params.build();
         let mut oracle = Oracle::new(program.clone());
         for i in 0..10_000u64 {
             let d = *oracle.get(i);
-            prop_assert!(
+            assert!(
                 program.at(d.outcome.next_pc).is_some(),
-                "next pc {:#x} is not an instruction", d.outcome.next_pc
+                "next pc {:#x} is not an instruction",
+                d.outcome.next_pc
             );
         }
-    }
+    });
 }

@@ -13,8 +13,8 @@ use atr::workload::{spec, Oracle, WorkloadClass};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_owned());
-    let profile = spec::find_profile(&which)
-        .unwrap_or_else(|| panic!("no profile matches {which:?}"));
+    let profile =
+        spec::find_profile(&which).unwrap_or_else(|| panic!("no profile matches {which:?}"));
     let class = match profile.class {
         WorkloadClass::Int => RegClass::Int,
         WorkloadClass::Fp => RegClass::Fp,
@@ -31,13 +31,22 @@ fn main() {
     println!("region classification (Fig 6):");
     println!("  non-branch  {:>6.2}%", ratios.non_branch * 100.0);
     println!("  non-except  {:>6.2}%", ratios.non_except * 100.0);
-    println!("  atomic      {:>6.2}%   (paper averages: 17.04% int / 13.14% fp)\n", ratios.atomic * 100.0);
+    println!(
+        "  atomic      {:>6.2}%   (paper averages: 17.04% int / 13.14% fp)\n",
+        ratios.atomic * 100.0
+    );
 
     let life = lifecycle_breakdown(records, class);
     println!("lifecycle cycle fractions (Fig 4, {} samples):", life.samples);
     println!("  in-use           {:>6.2}%", life.in_use * 100.0);
-    println!("  unused           {:>6.2}%   (speculative-release opportunity)", life.unused * 100.0);
-    println!("  verified-unused  {:>6.2}%   (non-speculative opportunity)\n", life.verified_unused * 100.0);
+    println!(
+        "  unused           {:>6.2}%   (speculative-release opportunity)",
+        life.unused * 100.0
+    );
+    println!(
+        "  verified-unused  {:>6.2}%   (non-speculative opportunity)\n",
+        life.verified_unused * 100.0
+    );
 
     let hist = consumer_histogram(records, class, 7);
     println!("consumers per atomic region (Fig 12, mean {:.2}):", hist.mean);

@@ -12,8 +12,8 @@ use atr::workload::{spec, Oracle};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "exchange2".to_owned());
-    let profile = spec::find_profile(&which)
-        .unwrap_or_else(|| panic!("no profile matches {which:?}"));
+    let profile =
+        spec::find_profile(&which).unwrap_or_else(|| panic!("no profile matches {which:?}"));
     let program = profile.build();
     println!("register-file sweep on {}\n", profile.name);
     println!(

@@ -22,10 +22,15 @@ fn main() {
 
     println!("speculation traffic:");
     println!("  fetched               {:>9}", stats.fetched);
-    println!("  wrong-path fetched    {:>9}  ({:.1}% of fetch bandwidth)",
+    println!(
+        "  wrong-path fetched    {:>9}  ({:.1}% of fetch bandwidth)",
         stats.wrong_path_fetched,
-        stats.wrong_path_fetched as f64 / stats.fetched as f64 * 100.0);
-    println!("  wrong-path renamed    {:>9}  (these allocate registers!)", stats.wrong_path_renamed);
+        stats.wrong_path_fetched as f64 / stats.fetched as f64 * 100.0
+    );
+    println!(
+        "  wrong-path renamed    {:>9}  (these allocate registers!)",
+        stats.wrong_path_renamed
+    );
     println!("  flushes               {:>9}", stats.flushes);
     println!("  cond mispredict rate  {:>8.2}%", stats.mispredict_rate() * 100.0);
 
@@ -41,8 +46,8 @@ fn main() {
     assert_eq!(
         stats.int_prf.allocations,
         stats.int_prf.total_released()
-            + (core.renamer().occupancy(atr::isa::RegClass::Int)
-                - atr::isa::NUM_INT_ARCH_REGS) as u64,
+            + (core.renamer().occupancy(atr::isa::RegClass::Int) - atr::isa::NUM_INT_ARCH_REGS)
+                as u64,
         "every allocation is released exactly once (modulo live registers)"
     );
     println!("\n  every allocation accounted for exactly once ✓");
@@ -55,7 +60,10 @@ fn main() {
     println!("  drain-mode serviced      {:>8}", s1.interrupts);
     core.request_interrupt(InterruptMode::FlushAtRegionBoundary);
     let s2 = core.run(50_000);
-    println!("  flush-mode serviced      {:>8}  (waited {} cycles for open atomic claims)",
-        s2.interrupts - s1.interrupts, s2.interrupt_wait_cycles);
+    println!(
+        "  flush-mode serviced      {:>8}  (waited {} cycles for open atomic claims)",
+        s2.interrupts - s1.interrupts,
+        s2.interrupt_wait_cycles
+    );
     println!("\nexecution continued correctly after both; register state intact ✓");
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and a tiny-budget test pass.
+#
+# The tiny ATR_SIM_* budget keeps the simulation-heavy experiment tests
+# fast while still executing every code path; full-budget numbers are
+# regenerated with `--bin all_experiments` (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (tiny budget)"
+ATR_SIM_WARMUP=500 ATR_SIM_INSTS=2000 ATR_SIM_PROGRESS=0 \
+    cargo test --workspace --offline -q
+
+echo "CI OK"

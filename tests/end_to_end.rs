@@ -27,10 +27,7 @@ fn fig6_pipeline_agrees_with_paper_band() {
     let mut int_sum = 0.0;
     let mut n = 0.0;
     for p in spec::spec2017_int().iter().take(4) {
-        let spec = RunSpec {
-            collect_events: true,
-            ..quick(ReleaseScheme::Baseline, 280)
-        };
+        let spec = RunSpec { collect_events: true, ..quick(ReleaseScheme::Baseline, 280) };
         let r = run(&CoreConfig::default(), p.build(), &spec);
         let ratios = atr::analysis::region_ratios(&r.lifetimes, RegClass::Int, true);
         int_sum += ratios.atomic;
@@ -44,7 +41,8 @@ fn fig6_pipeline_agrees_with_paper_band() {
 fn scheme_ordering_holds_under_pressure_across_profiles() {
     for name in ["perlbench", "cactu"] {
         let program = spec::find_profile(name).unwrap().build();
-        let base = run(&CoreConfig::default(), program.clone(), &quick(ReleaseScheme::Baseline, 64)).ipc;
+        let base =
+            run(&CoreConfig::default(), program.clone(), &quick(ReleaseScheme::Baseline, 64)).ipc;
         let combined = run(
             &CoreConfig::default(),
             program,
@@ -89,10 +87,7 @@ fn consumer_width_sensitivity_matches_s5_4() {
     };
     let w3 = ipc_with_width(3);
     let w8 = ipc_with_width(8);
-    assert!(
-        (w3 / w8 - 1.0).abs() < 0.02,
-        "3-bit counter should match a wide one: {w3} vs {w8}"
-    );
+    assert!((w3 / w8 - 1.0).abs() < 0.02, "3-bit counter should match a wide one: {w3} vs {w8}");
     // A 1-bit-counter-equivalent (width 2: max one consumer) must lose
     // release opportunities.
     let w2 = ipc_with_width(2);
@@ -110,10 +105,7 @@ fn redefine_delay_sensitivity_matches_fig13() {
     };
     let d0 = ipc_with_delay(0);
     let d2 = ipc_with_delay(2);
-    assert!(
-        d2 > d0 * 0.97,
-        "a 2-cycle marking pipeline must cost almost nothing: {d0} vs {d2}"
-    );
+    assert!(d2 > d0 * 0.97, "a 2-cycle marking pipeline must cost almost nothing: {d0} vs {d2}");
 }
 
 #[test]
@@ -123,9 +115,7 @@ fn hardware_models_reproduce_s4_4_claims() {
     assert!(logic.max_frequency_ghz(3) > 4.0, "pipelined marking must exceed 4 GHz");
 
     let power = atr::analysis::CorePowerModel::default();
-    let saving = power
-        .estimate(204, 204)
-        .power_saving_vs(&power.estimate(280, 280));
+    let saving = power.estimate(204, 204).power_saving_vs(&power.estimate(280, 280));
     assert!((0.02..0.10).contains(&saving), "power saving {saving}");
 }
 
