@@ -68,10 +68,18 @@ impl FreeList {
     ///
     /// # Panics
     ///
-    /// Panics on a double free or a tag of the wrong class — the
-    /// correctness property the release schemes must maintain.
+    /// Panics on a double free, a tag of the wrong class, or a tag
+    /// beyond the file size — the correctness properties the release
+    /// schemes must maintain. Each failure mode has its own message so
+    /// a scheme bug is identified at the faulting release, not at some
+    /// later allocation.
     pub fn release(&mut self, tag: PTag) {
         assert_eq!(tag.class(), self.class, "freed tag of wrong class");
+        assert!(
+            tag.index() < self.total,
+            "freed tag {tag} out of range for a {}-register file",
+            self.total
+        );
         assert!(!self.is_free[tag.index()], "double free of physical register {tag}");
         self.is_free[tag.index()] = true;
         self.free.push_back(tag);
@@ -81,6 +89,12 @@ impl FreeList {
     #[must_use]
     pub fn contains(&self, tag: PTag) -> bool {
         self.is_free[tag.index()]
+    }
+
+    /// Every currently free tag, in allocation (FIFO) order — the
+    /// auditor's view of the free set.
+    pub fn iter(&self) -> impl Iterator<Item = PTag> + '_ {
+        self.free.iter().copied()
     }
 }
 
@@ -133,6 +147,26 @@ mod tests {
     fn wrong_class_release_panics() {
         let mut fl = FreeList::new(RegClass::Int, 0, 4);
         fl.release(PTag::new(RegClass::Fp, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_release_panics() {
+        let mut fl = FreeList::new(RegClass::Int, 0, 4);
+        let t = fl.allocate().unwrap();
+        let _ = t;
+        fl.release(PTag::new(RegClass::Int, 4));
+    }
+
+    #[test]
+    fn iter_matches_free_set() {
+        let mut fl = FreeList::new(RegClass::Int, 2, 6);
+        let a = fl.allocate().unwrap();
+        let freed: Vec<usize> = fl.iter().map(|t| t.index()).collect();
+        assert_eq!(freed, vec![3, 4, 5]);
+        fl.release(a);
+        assert_eq!(fl.iter().count(), fl.len());
+        assert!(fl.iter().all(|t| fl.contains(t)));
     }
 
     #[test]

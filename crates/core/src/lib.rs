@@ -41,6 +41,7 @@
 //! assert!(uop.pdst.is_some());
 //! ```
 
+pub mod audit;
 pub mod events;
 pub mod freelist;
 pub mod prf;
@@ -49,6 +50,7 @@ pub mod renamer;
 pub mod scheme;
 pub mod srt;
 
+pub use audit::{AuditViolation, RenameAuditor};
 pub use events::{LifetimeLog, RegLifetime, ReleaseKind};
 pub use freelist::FreeList;
 pub use prf::{PhysRegFile, PrfStats};

@@ -207,6 +207,12 @@ impl PhysRegFile {
         r.count
     }
 
+    /// Every register's state, tagged — the auditor's full-file view.
+    pub fn iter(&self) -> impl Iterator<Item = (PTag, &PhysReg)> {
+        let class = self.class;
+        self.regs.iter().enumerate().map(move |(i, r)| (PTag::new(class, i as u32), r))
+    }
+
     /// Bulk no-early-release marking (§4.2.2) of one live register.
     pub fn mark_no_early_release(&mut self, tag: PTag, is_branch: bool) {
         let r = self.get_mut(tag);

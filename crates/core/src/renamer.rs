@@ -63,6 +63,12 @@ pub struct RenameConfig {
     /// allocating, with per-register reference counts. ATR composes by
     /// decrementing instead of releasing.
     pub move_elimination: bool,
+    /// Enable release-time legality checking ([`crate::audit`]): every
+    /// `release` validates the mechanism-specific preconditions (claim
+    /// present, counts at zero, region not blocked) and panics on the
+    /// first violation. The pipeline additionally runs the cycle-level
+    /// [`crate::audit::RenameAuditor`] when this is set.
+    pub audit: bool,
 }
 
 impl Default for RenameConfig {
@@ -76,6 +82,7 @@ impl Default for RenameConfig {
             stall_threshold: 8,
             collect_events: false,
             move_elimination: false,
+            audit: false,
         }
     }
 }
@@ -185,6 +192,8 @@ pub struct Renamer {
     move_elimination: bool,
     /// Moves eliminated (no allocation performed).
     eliminated_moves: u64,
+    /// Release-time legality checking enabled (see [`RenameConfig::audit`]).
+    audit: bool,
 }
 
 impl Renamer {
@@ -226,6 +235,7 @@ impl Renamer {
             open_claims: 0,
             move_elimination: cfg.move_elimination,
             eliminated_moves: 0,
+            audit: cfg.audit,
         }
     }
 
@@ -308,6 +318,58 @@ impl Renamer {
     #[must_use]
     pub fn current_mapping(&self, reg: ArchReg) -> PTag {
         self.srt.get(reg)
+    }
+
+    /// Is release-time legality checking on ([`RenameConfig::audit`])?
+    #[must_use]
+    pub fn audit_enabled(&self) -> bool {
+        self.audit
+    }
+
+    /// The speculative rename table (auditor view).
+    #[must_use]
+    pub fn srt(&self) -> &RenameTable {
+        &self.srt
+    }
+
+    /// The committed (retirement) rename table (auditor view).
+    #[must_use]
+    pub fn committed_table(&self) -> &RenameTable {
+        &self.committed
+    }
+
+    /// The free list of `class` (auditor view).
+    #[must_use]
+    pub fn free_list(&self, class: RegClass) -> &FreeList {
+        self.free.get(class)
+    }
+
+    /// The physical register file of `class` (auditor view).
+    #[must_use]
+    pub fn prf_file(&self, class: RegClass) -> &PhysRegFile {
+        self.prf.get(class)
+    }
+
+    /// Claimed registers still waiting in the redefine-delay pipeline
+    /// whose allocation generation is still current — the only way an
+    /// allocated register may transiently be unreachable from any
+    /// rename table or in-flight uop (a squashed redefiner's claim that
+    /// survives the flush, §4.2.4).
+    pub fn pending_claim_tags(&self) -> impl Iterator<Item = PTag> + '_ {
+        self.pending_redefines.iter().filter_map(move |&(_, p, generation)| {
+            let state = self.prf.get(p.class()).get(p);
+            (state.allocated && state.generation == generation).then_some(p)
+        })
+    }
+
+    /// Test-only fault injection: frees `p` unconditionally, bypassing
+    /// every eligibility check and the lifetime log — the "released one
+    /// cycle too early" bug class [`crate::audit`] exists to catch.
+    /// Never call this outside auditor tests.
+    #[doc(hidden)]
+    pub fn inject_early_release(&mut self, p: PTag) {
+        self.prf.get_mut(p.class()).on_release(p);
+        self.free.get_mut(p.class()).release(p);
     }
 
     /// Renames one instruction in program order. `wrong_path` tags the
@@ -578,8 +640,14 @@ impl Renamer {
         }
         let Some(prev) = uop.prev_ptag else { return };
         let state = *self.prf.get(prev.class()).get(prev);
-        if state.er_blocked() {
-            return; // count untrustworthy: leave for the commit path
+        if state.er_blocked() || (state.count > 0 && state.armed_precommit) {
+            // Leave the release for the commit path: an overflowed
+            // count is untrustworthy, and a register some *other*
+            // precommitted redefiner already armed (two aliases of one
+            // register redefined in flight, §6) has a single armed bit
+            // that can fire only one reference drop — booking a second
+            // deferred drop on it would leak the register.
+            return;
         }
         uop.prev_ptag = None;
         if state.count == 0 {
@@ -605,7 +673,55 @@ impl Renamer {
         }
     }
 
+    /// Release-time legality: each mechanism may only fire with its
+    /// paper-mandated preconditions met. These are the point checks the
+    /// cycle-level [`crate::audit::RenameAuditor`] cannot see (it only
+    /// observes end-of-cycle state), so they live on the release path
+    /// itself, behind the same flag.
+    fn audit_release(&self, p: PTag, kind: ReleaseKind) {
+        let state = self.prf.get(p.class()).get(p);
+        assert!(state.allocated, "audit: {kind:?} release of non-allocated register {p}");
+        match kind {
+            ReleaseKind::Atomic => {
+                assert!(state.atr_claimed, "audit: atomic release of {p}, which ATR never claimed");
+                assert!(
+                    state.redefined_effective,
+                    "audit: atomic release of {p} before its redefine signal became effective"
+                );
+                assert!(
+                    !state.atr_blocked(),
+                    "audit: atomic release of {p} in a non-atomic region \
+                     (branch={}, exception={}, overflowed={})",
+                    state.marked_branch,
+                    state.marked_exception,
+                    state.overflowed
+                );
+                assert_eq!(
+                    state.count, 0,
+                    "audit: atomic release of {p} with mapped consumers outstanding"
+                );
+            }
+            ReleaseKind::Precommit => {
+                assert!(
+                    !state.er_blocked(),
+                    "audit: precommit release of {p} with an untrustworthy (overflowed) count"
+                );
+                assert_eq!(
+                    state.count, 0,
+                    "audit: precommit release of {p} with mapped consumers outstanding"
+                );
+            }
+            // RedefinerCommit needs no count (the baseline scheme does
+            // not track consumers); FlushWalk reclaims squashed state
+            // whose counts are legitimately stale under ATR-only runs.
+            ReleaseKind::RedefinerCommit | ReleaseKind::FlushWalk => {}
+        }
+    }
+
     fn release(&mut self, p: PTag, kind: ReleaseKind, cycle: u64) {
+        if self.audit {
+            self.audit_release(p, kind);
+        }
         let prf = self.prf.get_mut(p.class());
         // Move elimination: drop one architectural reference; the
         // register stays allocated while other aliases live (§6:
@@ -615,12 +731,20 @@ impl Renamer {
         r.refs -= 1;
         if r.refs > 0 {
             // Each early-release trigger (armed precommit, effective
-            // redefine) is consumed by exactly one reference drop; the
-            // register lives on through its other aliases, and a stale
-            // trigger must not fire again when their consumer counts
-            // later touch zero.
-            r.armed_precommit = false;
-            r.redefined_effective = false;
+            // redefine) is consumed by the one reference drop it fires,
+            // and only that drop may clear it. A drop arriving through
+            // another channel — a different alias's committing
+            // redefiner, or the flush walk reclaiming a squashed
+            // eliminated move — must leave a pending trigger armed: the
+            // precommitted redefiner it belongs to already relinquished
+            // its previous-ptag, so clearing the trigger loses that
+            // deferred drop and leaks the register (caught by the
+            // reachability check of [`crate::audit`]).
+            match kind {
+                ReleaseKind::Precommit => r.armed_precommit = false,
+                ReleaseKind::Atomic => r.redefined_effective = false,
+                ReleaseKind::RedefinerCommit | ReleaseKind::FlushWalk => {}
+            }
             return;
         }
         let ev = prf.get(p).event;
@@ -751,14 +875,29 @@ impl Renamer {
         self.srt = cp.clone();
     }
 
+    /// Pure reconstruction of the SRT from the committed RAT plus the
+    /// surviving (uncommitted, unsquashed) destination mappings in age
+    /// order, oldest first — what [`Renamer::restore_from_committed`]
+    /// installs. Exposed so the auditor can cross-validate a checkpoint
+    /// restore against the walk-based reconstruction: the two recovery
+    /// policies must always agree on the post-flush table.
+    #[must_use]
+    pub fn rebuild_from_committed(
+        &self,
+        survivors: impl Iterator<Item = (ArchReg, PTag)>,
+    ) -> RenameTable {
+        let mut srt = self.committed.clone();
+        for (a, p) in survivors {
+            srt.set(a, p);
+        }
+        srt
+    }
+
     /// Rebuilds the SRT from the committed RAT plus the surviving
     /// (uncommitted, unsquashed) destination mappings in age order,
     /// oldest first — the §4.2.1 ROB walk.
     pub fn restore_from_committed(&mut self, survivors: impl Iterator<Item = (ArchReg, PTag)>) {
-        self.srt = self.committed.clone();
-        for (a, p) in survivors {
-            self.srt.set(a, p);
-        }
+        self.srt = self.rebuild_from_committed(survivors);
     }
 
     /// Sum of allocated registers across both files (diagnostics).

@@ -92,6 +92,10 @@ impl Model {
             stall_threshold: 4,
             collect_events: true,
             move_elimination,
+            // Run the randomized protocol fuzz with the release-path
+            // audit asserts armed: every release the model drives must
+            // also be legal by the auditor's book.
+            audit: true,
         };
         Model { renamer: Renamer::new(&cfg), rob: Vec::new(), cycle: 1, seq: 0 }
     }

@@ -110,6 +110,13 @@ impl CoreConfig {
         self.rename.scheme = scheme;
         self
     }
+
+    /// Enables cycle-level invariant auditing ([`atr_core::audit`]).
+    #[must_use]
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.rename.audit = audit;
+        self
+    }
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@ use crate::iq::IssueQueue;
 use crate::lsq::{LoadCheck, Lsq};
 use crate::rob::{Rob, RobEntry, RobState};
 use crate::stats::CoreStats;
-use atr_core::{CheckpointPolicy, RegLifetime, Renamer};
+use atr_core::{CheckpointPolicy, PTag, RegLifetime, RenameAuditor, Renamer};
 use atr_frontend::{Bpu, Prediction};
-use atr_isa::{DynInst, FuKind, InstSeq, OpClass, RegClass};
+use atr_isa::{ArchReg, DynInst, FuKind, InstSeq, OpClass, RegClass};
 use atr_mem::{AccessKind, MemoryHierarchy};
 use atr_workload::{synthesize_outcome, Oracle, Program};
 use std::collections::VecDeque;
@@ -28,6 +28,24 @@ pub enum InterruptMode {
     /// claim (the §4.1 region counter), since a flushed redefiner's
     /// already-released register cannot be restored.
     FlushAtRegionBoundary,
+}
+
+/// One retired instruction of the architectural stream: the unit the
+/// cross-scheme differential tests compare. Two runs of the same
+/// program retire identical streams exactly when their release schemes
+/// are architecturally equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredInst {
+    /// Index into the oracle's architectural stream.
+    pub oracle_idx: u64,
+    /// The instruction's PC.
+    pub pc: u64,
+    /// Architectural successor PC.
+    pub next_pc: u64,
+    /// Control flow taken?
+    pub taken: bool,
+    /// Memory address touched, for loads and stores.
+    pub mem_addr: Option<u64>,
 }
 
 /// A fetched instruction waiting in the frontend pipe for rename.
@@ -69,6 +87,12 @@ pub struct OooCore {
     stats: CoreStats,
     last_commit_cycle: u64,
     pending_interrupt: Option<InterruptMode>,
+    /// Cycle-level invariant checker ([`atr_core::audit`]), attached
+    /// when the rename config sets `audit`.
+    auditor: Option<RenameAuditor>,
+    /// Retired-stream capture for differential validation; off unless
+    /// [`OooCore::enable_retire_log`] was called.
+    retire_log: Option<Vec<RetiredInst>>,
 }
 
 impl std::fmt::Debug for OooCore {
@@ -105,6 +129,8 @@ impl OooCore {
             stats: CoreStats::default(),
             last_commit_cycle: 0,
             pending_interrupt: None,
+            auditor: cfg.rename.audit.then(RenameAuditor::new),
+            retire_log: None,
             cycle: 1,
             oracle,
             program,
@@ -164,6 +190,26 @@ impl OooCore {
         &self.renamer
     }
 
+    /// The attached invariant auditor, when the rename config enables
+    /// auditing.
+    #[must_use]
+    pub fn auditor(&self) -> Option<&RenameAuditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Starts capturing every retired instruction for differential
+    /// comparison. Call before [`OooCore::run`].
+    pub fn enable_retire_log(&mut self) {
+        self.retire_log = Some(Vec::new());
+    }
+
+    /// The captured retired stream (empty unless
+    /// [`OooCore::enable_retire_log`] was called).
+    #[must_use]
+    pub fn retire_log(&self) -> &[RetiredInst] {
+        self.retire_log.as_deref().unwrap_or(&[])
+    }
+
     /// Requests an interrupt to be serviced with the given mode (§4.1).
     /// At most one can be pending; a second request is ignored.
     pub fn request_interrupt(&mut self, mode: InterruptMode) {
@@ -188,6 +234,13 @@ impl OooCore {
         self.issue();
         self.dispatch();
         self.fetch();
+        if let Some(auditor) = self.auditor.as_mut() {
+            auditor.enforce_cycle(
+                &self.renamer,
+                self.rob.iter().map(|e| (&e.uop, e.issued())),
+                self.cycle,
+            );
+        }
         self.stats.int_prf_occupancy_sum += self.renamer.occupancy(RegClass::Int) as u128;
         self.stats.fp_prf_occupancy_sum += self.renamer.occupancy(RegClass::Fp) as u128;
         self.stats.cycles = self.cycle;
@@ -485,6 +538,22 @@ impl OooCore {
         }
     }
 
+    /// The architectural mappings still live after a squash: every
+    /// surviving ROB entry's destination, oldest first. Eliminated
+    /// moves map their destination to the *alias* (they allocated
+    /// nothing), hence `result_ptag`, not `pdst`.
+    fn surviving_mappings(&self) -> Vec<(ArchReg, PTag)> {
+        self.rob.iter().filter_map(|e| Some((e.uop.dst_arch?, e.uop.result_ptag()?))).collect()
+    }
+
+    /// Cross-validates a finished SRT recovery against the walk
+    /// reconstruction when the auditor is attached.
+    fn audit_flush_restore(&mut self, survivors: &[(ArchReg, PTag)]) {
+        if let Some(auditor) = self.auditor.as_mut() {
+            auditor.enforce_flush_restore(&self.renamer, survivors.iter().copied(), self.cycle);
+        }
+    }
+
     fn handle_mispredict(&mut self, seq: InstSeq) {
         self.stats.flushes += 1;
         let (sinst, prediction, checkpoint, taken, target, oracle_idx) = {
@@ -514,14 +583,12 @@ impl OooCore {
         let records: Vec<atr_core::FlushRecord> =
             squashed.iter().map(|e| e.uop.flush_record(&e.inst.sinst, e.issued())).collect();
         self.renamer.flush_walk(&records, self.cycle);
+        let survivors = self.surviving_mappings();
         match checkpoint {
             Some(cp) => self.renamer.restore_checkpoint(&cp),
-            None => {
-                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> =
-                    self.rob.iter().filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?))).collect();
-                self.renamer.restore_from_committed(survivors.into_iter());
-            }
+            None => self.renamer.restore_from_committed(survivors.iter().copied()),
         }
+        self.audit_flush_restore(&survivors);
         self.iq.squash_younger(seq);
         self.lsq.squash_younger(seq);
         self.frontend.clear();
@@ -624,6 +691,15 @@ impl OooCore {
                 _ => {}
             }
             self.renamer.on_commit(&head.uop, self.cycle);
+            if let Some(log) = self.retire_log.as_mut() {
+                log.push(RetiredInst {
+                    oracle_idx: head.inst.oracle_idx,
+                    pc: head.inst.sinst.pc,
+                    next_pc: head.inst.next_pc(),
+                    taken: head.inst.taken(),
+                    mem_addr: head.inst.outcome.mem_addr,
+                });
+            }
             self.stats.retired += 1;
             self.last_commit_cycle = self.cycle;
             if self.stats.retired.is_multiple_of(4096) {
@@ -697,9 +773,9 @@ impl OooCore {
                     .map(|e| e.uop.flush_record(&e.inst.sinst, e.issued()))
                     .collect();
                 self.renamer.flush_walk(&records, self.cycle);
-                let survivors: Vec<(atr_isa::ArchReg, atr_core::PTag)> =
-                    self.rob.iter().filter_map(|e| Some((e.uop.dst_arch?, e.uop.pdst?))).collect();
-                self.renamer.restore_from_committed(survivors.into_iter());
+                let survivors = self.surviving_mappings();
+                self.renamer.restore_from_committed(survivors.iter().copied());
+                self.audit_flush_restore(&survivors);
                 if let Some(p) = squashed.iter().rev().find_map(|e| e.prediction.as_ref()) {
                     self.bpu.restore(&p.snapshot);
                 }
@@ -734,6 +810,7 @@ impl OooCore {
             squashed.iter().map(|e| e.uop.flush_record(&e.inst.sinst, e.issued())).collect();
         self.renamer.flush_walk(&records, self.cycle);
         self.renamer.restore_from_committed(std::iter::empty());
+        self.audit_flush_restore(&[]);
 
         // Rewind the frontend's speculative state to before the oldest
         // squashed prediction; if none was made, the histories contain

@@ -36,7 +36,7 @@ pub mod lsq;
 pub mod rob;
 pub mod stats;
 
-pub use crate::core::{run_program, InterruptMode, OooCore};
+pub use crate::core::{run_program, InterruptMode, OooCore, RetiredInst};
 pub use config::CoreConfig;
 pub use rob::{RobEntry, RobState};
 pub use stats::CoreStats;

@@ -41,6 +41,16 @@ pub fn budget_from_env() -> (u64, u64) {
     (env_u64("ATR_SIM_WARMUP", 40_000), env_u64("ATR_SIM_INSTS", 160_000))
 }
 
+/// Reads the `ATR_AUDIT` switch: any value other than unset, empty, or
+/// `0` attaches the cycle-level [`atr_core::audit::RenameAuditor`] to
+/// every run. CI uses this for an audited tiny-budget pass; it changes
+/// no simulation result, only adds checking (and cost), so it is
+/// deliberately *not* part of the run-matrix memoization key.
+#[must_use]
+pub fn audit_from_env() -> bool {
+    std::env::var("ATR_AUDIT").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
+
 fn env_u64(var: &str, default: u64) -> u64 {
     match std::env::var(var) {
         Ok(raw) => match raw.trim().parse() {

@@ -129,6 +129,7 @@ fn run_point(core: &CoreConfig, program: Arc<Program>, point: &SimPoint) -> RunR
         warmup: point.warmup,
         measure: point.measure,
         collect_events: point.collect_events,
+        audit: crate::config::audit_from_env(),
     };
     run(&cfg, program, &spec)
 }

@@ -27,6 +27,7 @@
 //! for full runs.
 
 pub mod config;
+pub mod differential;
 pub mod executor;
 pub mod experiments;
 pub mod matrix;
@@ -34,5 +35,6 @@ pub mod report;
 pub mod runner;
 
 pub use config::{table1, SimConfig};
+pub use differential::{run_differential, DifferentialReport, SchemeStream};
 pub use matrix::{CoreTweak, RunMatrix, SimPoint};
 pub use runner::{run, RunResult, RunSpec};

@@ -19,14 +19,19 @@ pub struct RunSpec {
     pub measure: u64,
     /// Collect the per-allocation lifetime log (analysis figures).
     pub collect_events: bool,
+    /// Attach the cycle-level invariant auditor ([`atr_core::audit`]).
+    /// Purely a checking knob: audited runs produce bit-identical
+    /// results, they just panic on the first broken release invariant.
+    pub audit: bool,
 }
 
 impl RunSpec {
-    /// A spec with the environment-controlled budget.
+    /// A spec with the environment-controlled budget and audit switch.
     #[must_use]
     pub fn new(scheme: ReleaseScheme, rf_size: usize) -> Self {
         let (warmup, measure) = crate::config::budget_from_env();
-        RunSpec { scheme, rf_size, warmup, measure, collect_events: false }
+        let audit = crate::config::audit_from_env();
+        RunSpec { scheme, rf_size, warmup, measure, collect_events: false, audit }
     }
 
     /// Enables lifetime-event collection.
@@ -58,6 +63,7 @@ pub struct RunResult {
 pub fn run(base: &CoreConfig, program: Arc<Program>, spec: &RunSpec) -> RunResult {
     let mut cfg = base.clone().with_rf_size(spec.rf_size).with_scheme(spec.scheme);
     cfg.rename.collect_events = spec.collect_events;
+    cfg.rename.audit = spec.audit;
     let mut core = OooCore::new(cfg, Oracle::new(program));
     let s0 = if spec.warmup > 0 { core.run(spec.warmup) } else { core.snapshot_stats() };
     let s1 = core.run(spec.measure);
@@ -107,7 +113,14 @@ mod tests {
     use atr_workload::ProfileParams;
 
     fn quick_spec(scheme: ReleaseScheme, rf: usize) -> RunSpec {
-        RunSpec { scheme, rf_size: rf, warmup: 2_000, measure: 10_000, collect_events: false }
+        RunSpec {
+            scheme,
+            rf_size: rf,
+            warmup: 2_000,
+            measure: 10_000,
+            collect_events: false,
+            audit: false,
+        }
     }
 
     #[test]

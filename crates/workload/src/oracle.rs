@@ -337,6 +337,60 @@ mod tests {
     }
 
     #[test]
+    fn release_before_is_monotonic_and_ignores_stale_commit_points() {
+        let mut o = Oracle::new(loop_program());
+        let _ = o.get(49);
+        o.release_before(30);
+        assert_eq!(o.window_len(), 20);
+        // A commit point older than the current base is a no-op, not a
+        // rewind: GC never resurrects entries.
+        o.release_before(10);
+        assert_eq!(o.window_len(), 20);
+        assert_eq!(o.get(30).oracle_idx, 30);
+    }
+
+    #[test]
+    fn release_past_the_generated_end_clamps_to_an_empty_window() {
+        let mut o = Oracle::new(loop_program());
+        let _ = o.get(19);
+        o.release_before(1_000);
+        assert_eq!(o.window_len(), 0);
+        // Generation continues from where the stream left off: index 20
+        // onward is still reachable, released indices are not.
+        assert_eq!(o.get(20).oracle_idx, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "already released")]
+    fn boundary_entry_just_below_the_commit_point_errors_loudly() {
+        let mut o = Oracle::new(loop_program());
+        let _ = o.get(50);
+        o.release_before(40);
+        // Exactly at the boundary is fine...
+        assert_eq!(o.get(40).oracle_idx, 40);
+        // ...one below it is the off-by-one a broken flush resume would
+        // make, and must not be silently regenerated.
+        let _ = o.get(39);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window")]
+    fn clearing_an_exception_on_a_released_entry_panics() {
+        let mut o = Oracle::new(loop_program());
+        let _ = o.get(50);
+        o.release_before(40);
+        o.clear_exception(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside window")]
+    fn clearing_an_exception_beyond_the_generated_stream_panics() {
+        let mut o = Oracle::new(loop_program());
+        let _ = o.get(10);
+        o.clear_exception(11);
+    }
+
+    #[test]
     fn exception_injection_is_deterministic_and_clearable() {
         let mut b = ProgramBuilder::new(0, 77);
         let head = b.next_pc();

@@ -17,4 +17,13 @@ echo "== cargo test (tiny budget)"
 ATR_SIM_WARMUP=500 ATR_SIM_INSTS=2000 ATR_SIM_PROGRESS=0 \
     cargo test --workspace --offline -q
 
+echo "== all_experiments with rename auditor (tiny budget)"
+# Re-runs the experiment matrix with the cycle-level rename/release
+# auditor attached; any invariant violation panics the run. The results
+# dir is redirected so the tiny-budget pass never clobbers the committed
+# full-budget results/*.json.
+ATR_AUDIT=1 ATR_SIM_WARMUP=500 ATR_SIM_INSTS=2000 ATR_SIM_PROGRESS=0 \
+    ATR_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release --offline -p atr-bench --bin all_experiments >/dev/null
+
 echo "CI OK"

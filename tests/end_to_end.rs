@@ -8,7 +8,14 @@ use atr::sim::{run, RunSpec};
 use atr::workload::{spec, Oracle, ProfileParams};
 
 fn quick(scheme: ReleaseScheme, rf: usize) -> RunSpec {
-    RunSpec { scheme, rf_size: rf, warmup: 3_000, measure: 15_000, collect_events: false }
+    RunSpec {
+        scheme,
+        rf_size: rf,
+        warmup: 3_000,
+        measure: 15_000,
+        collect_events: false,
+        audit: false,
+    }
 }
 
 #[test]

@@ -1,0 +1,39 @@
+//! Cross-scheme differential validation over the calibrated SPEC suite.
+//!
+//! Register-release schemes are timing mechanisms: on every profile the
+//! four schemes must retire bit-identical architectural streams, each
+//! equal to the oracle's functional replay. This is the end-to-end
+//! guarantee that ATR's early releases never alter what the program
+//! *computes* — only when its registers free.
+
+use atr::pipeline::CoreConfig;
+use atr::sim::run_differential;
+use atr::workload::{spec, SpecProfile};
+
+/// Tiny per-run budget: enough to cross several thousand branches and
+/// a few flushes per profile while keeping the whole suite CI-sized.
+const INSTS: u64 = 3_000;
+
+fn check_suite(profiles: &[SpecProfile]) {
+    for profile in profiles {
+        let program = profile.build();
+        let report = run_differential(&CoreConfig::default(), &program, INSTS, false)
+            .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        assert!(
+            report.compared >= (report.streams.len() - 1) * INSTS as usize,
+            "{}: compared only {} retired instructions",
+            profile.name,
+            report.compared
+        );
+    }
+}
+
+#[test]
+fn all_schemes_retire_identical_streams_on_every_int_profile() {
+    check_suite(&spec::spec2017_int());
+}
+
+#[test]
+fn all_schemes_retire_identical_streams_on_every_fp_profile() {
+    check_suite(&spec::spec2017_fp());
+}
