@@ -10,6 +10,10 @@
 //!
 //! Budget control: `ATR_SIM_WARMUP` / `ATR_SIM_INSTS` (per measured
 //! window). A full pass at the default budget takes tens of minutes.
+//!
+//! All narrative goes to **stderr** (via the `ATR_LOG` leveled logger),
+//! so with `ATR_TELEMETRY=stats` and `ATR_TELEMETRY_OUT` unset, stdout
+//! is pure JSONL: one run-telemetry record per simulated point.
 
 use atr_analysis::{BulkReleaseLogic, CorePowerModel};
 use atr_bench::driver;
@@ -19,18 +23,22 @@ use atr_sim::RunMatrix;
 
 fn main() {
     let sim = driver::sim();
-    println!("running all experiments (warmup {}, measure {}) ...", sim.warmup, sim.measure);
+    atr_telemetry::info!(
+        "running all experiments (warmup {}, measure {}) ...",
+        sim.warmup,
+        sim.measure
+    );
 
     let t0 = std::time::Instant::now();
 
     // One shared matrix: declare everything, simulate the unique subset.
     let mut matrix = RunMatrix::new();
     matrix.ensure(&sim.core, &exp::full_pass_points(&sim));
-    println!("[{:>5.0?}] matrix: {}", t0.elapsed(), matrix.summary());
+    atr_telemetry::info!("[{:>5.0?}] matrix: {}", t0.elapsed(), matrix.summary());
 
     let fig01 = exp::fig01_assemble(&sim, &matrix);
     let _ = save_json("fig01", &fig01);
-    println!(
+    atr_telemetry::info!(
         "[{:>5.0?}] fig01: avg normalized IPC @64 = {} (paper 37.7%)",
         t0.elapsed(),
         pct(exp::fig01_average(&fig01, 64))
@@ -39,7 +47,7 @@ fn main() {
     let fig04 = exp::fig04_assemble(&sim, &matrix);
     let _ = save_json("fig04", &fig04);
     for r in fig04.iter().filter(|r| r.benchmark.starts_with("average")) {
-        println!(
+        atr_telemetry::info!(
             "[{:>5.0?}] fig04 {}: in-use {} unused {} verified {} (paper int 53.5/41.0/5.1, fp 78.3/18.9/2.8)",
             t0.elapsed(),
             r.benchmark,
@@ -52,7 +60,7 @@ fn main() {
     let fig06 = exp::fig06_assemble(&sim, &matrix);
     let _ = save_json("fig06", &fig06);
     for r in fig06.iter().filter(|r| r.benchmark.starts_with("average")) {
-        println!(
+        atr_telemetry::info!(
             "[{:>5.0?}] fig06 {}: atomic {} (paper int 17.04%, fp 13.14%)",
             t0.elapsed(),
             r.benchmark,
@@ -63,7 +71,7 @@ fn main() {
     let fig10 = exp::fig10_assemble(&sim, &matrix, &[64, 224]);
     let _ = save_json("fig10", &fig10);
     for r in fig10.iter().filter(|r| r.benchmark.starts_with("average")) {
-        println!(
+        atr_telemetry::info!(
             "[{:>5.0?}] fig10 {} @{} {}: {}",
             t0.elapsed(),
             r.benchmark,
@@ -76,14 +84,20 @@ fn main() {
     let fig11 = exp::fig11_assemble(&sim, &matrix);
     let _ = save_json("fig11", &fig11);
     for r in &fig11 {
-        println!("[{:>5.0?}] fig11 {} @{}: {}", t0.elapsed(), r.class, r.rf_size, gain(r.speedup));
+        atr_telemetry::info!(
+            "[{:>5.0?}] fig11 {} @{}: {}",
+            t0.elapsed(),
+            r.class,
+            r.rf_size,
+            gain(r.speedup)
+        );
     }
 
     let fig12 = exp::fig12_assemble(&sim, &matrix);
     let _ = save_json("fig12", &fig12);
     let mean_all: f64 = fig12.iter().map(|r| r.mean).sum::<f64>() / fig12.len() as f64;
     let namd = fig12.iter().find(|r| r.benchmark.contains("namd"));
-    println!(
+    atr_telemetry::info!(
         "[{:>5.0?}] fig12: mean consumers/region {:.2}; namd mean {:.2} (paper: 1-2 typical, namd up to 5)",
         t0.elapsed(),
         mean_all,
@@ -93,7 +107,7 @@ fn main() {
     let fig13 = exp::fig13_assemble(&sim, &matrix);
     let _ = save_json("fig13", &fig13);
     for r in &fig13 {
-        println!(
+        atr_telemetry::info!(
             "[{:>5.0?}] fig13 {} delay={}: {}",
             t0.elapsed(),
             r.class,
@@ -105,7 +119,7 @@ fn main() {
     let fig14 = exp::fig14_assemble(&sim, &matrix);
     let _ = save_json("fig14", &fig14);
     let avg = |f: fn(&exp::Fig14Row) -> f64| fig14.iter().map(f).sum::<f64>() / fig14.len() as f64;
-    println!(
+    atr_telemetry::info!(
         "[{:>5.0?}] fig14: redefine {:.1}cy, consume {:.1}cy, commit {:.1}cy after rename",
         t0.elapsed(),
         avg(|r| r.rename_to_redefine),
@@ -119,7 +133,7 @@ fn main() {
     let base = model.estimate(280, 280);
     for r in &fig15 {
         let est = model.estimate(r.required_rf, r.required_rf);
-        println!(
+        atr_telemetry::info!(
             "[{:>5.0?}] fig15 {}: {} regs ({} reduction, {} power, {} area)",
             t0.elapsed(),
             r.scheme,
@@ -134,7 +148,7 @@ fn main() {
     ablations.extend(exp::ablation_counter_width_assemble(&sim, &matrix));
     let _ = save_json("ablations", &ablations);
     for r in &ablations {
-        println!(
+        atr_telemetry::info!(
             "[{:>5.0?}] ablation {} {}: {:+.2}%",
             t0.elapsed(),
             r.study,
@@ -144,7 +158,7 @@ fn main() {
     }
 
     let logic = BulkReleaseLogic::default().report();
-    println!(
+    atr_telemetry::info!(
         "[{:>5.0?}] §4.4: {} gates, {} levels, {:.1} GHz combinational (paper 2,960 / 42 / 2.6)",
         t0.elapsed(),
         logic.gates,
@@ -152,5 +166,5 @@ fn main() {
         logic.max_frequency_ghz(1)
     );
 
-    println!("done in {:?}; {}; JSON in results/", t0.elapsed(), matrix.summary());
+    atr_telemetry::info!("done in {:?}; {}; JSON in results/", t0.elapsed(), matrix.summary());
 }

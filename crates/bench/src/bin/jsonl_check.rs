@@ -1,0 +1,55 @@
+//! Validates run-telemetry JSONL against the record schema.
+//!
+//! Reads the files named on the command line (or stdin when none),
+//! checks every non-empty line with
+//! [`atr_sim::telemetry::validate_record`] — parseable JSON, current
+//! schema tag, required fields, CPI-slot sum == width × cycles — and
+//! exits non-zero naming the first bad line. CI pipes the telemetry
+//! output of a tiny-budget `all_experiments` pass through this.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let sources: Vec<(String, String)> = if paths.is_empty() {
+        let mut body = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut body) {
+            atr_telemetry::warn!("could not read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        vec![("<stdin>".to_owned(), body)]
+    } else {
+        let mut sources = Vec::new();
+        for path in paths {
+            match std::fs::read_to_string(&path) {
+                Ok(body) => sources.push((path, body)),
+                Err(e) => {
+                    atr_telemetry::warn!("could not read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        sources
+    };
+
+    let mut records = 0usize;
+    for (name, body) in &sources {
+        for (lineno, line) in body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = atr_sim::telemetry::validate_record(line) {
+                atr_telemetry::warn!("{name}:{}: invalid telemetry record: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+            records += 1;
+        }
+    }
+    if records == 0 {
+        atr_telemetry::warn!("no telemetry records found (is ATR_TELEMETRY=stats set?)");
+        return ExitCode::FAILURE;
+    }
+    atr_telemetry::info!("jsonl_check: {records} valid telemetry records");
+    ExitCode::SUCCESS
+}

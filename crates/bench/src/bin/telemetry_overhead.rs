@@ -1,0 +1,86 @@
+//! CI guard: the telemetry **off** path must cost (nearly) nothing.
+//!
+//! Runs one fixed-budget simulation interleaved at `off` and `stats`
+//! levels (min of three walls each — min, not mean, because scheduler
+//! noise only ever adds time) and fails when the off path is more than
+//! 2% *slower* than the stats path. Stats does strictly more work
+//! (per-cycle histogram sampling plus the forced lifetime log), so an
+//! off path that fails this guard has lost its gating — e.g. the
+//! observer being constructed, or event collection being forced, with
+//! telemetry disabled.
+//!
+//! The timing gate is backed by functional zero-overhead checks: the
+//! off run must produce no telemetry at all, and both levels must yield
+//! bit-identical simulated results.
+//!
+//! The budget is fixed internally (not `ATR_SIM_*`) so the measurement
+//! is long enough to be stable no matter how tiny CI's test budget is.
+
+use atr_core::ReleaseScheme;
+use atr_sim::runner::{run_profile, RunSpec};
+use atr_telemetry::{TelemetryConfig, TelemetryLevel};
+use atr_workload::spec::all_profiles;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const REPS: usize = 3;
+const TOLERANCE: f64 = 1.02;
+
+fn main() -> ExitCode {
+    let core = atr_pipeline::CoreConfig::default();
+    let profiles = all_profiles();
+    let profile = profiles.iter().find(|p| p.name == "505.mcf_r").expect("profile exists");
+    let spec_at = |level: TelemetryLevel| RunSpec {
+        scheme: ReleaseScheme::Atr { redefine_delay: 0 },
+        rf_size: 96,
+        warmup: 10_000,
+        measure: 100_000,
+        collect_events: false,
+        audit: false,
+        telemetry: TelemetryConfig { level, ..TelemetryConfig::default() },
+    };
+
+    let mut off_min = Duration::MAX;
+    let mut stats_min = Duration::MAX;
+    let mut fingerprints: Vec<(u64, u64, u64)> = Vec::new();
+    for rep in 0..REPS {
+        // Interleave so drift (thermal, noisy neighbors) hits both arms.
+        for (level, min) in
+            [(TelemetryLevel::Stats, &mut stats_min), (TelemetryLevel::Off, &mut off_min)]
+        {
+            let t0 = Instant::now();
+            let r = run_profile(&core, profile, &spec_at(level));
+            *min = (*min).min(t0.elapsed());
+            fingerprints.push((r.stats.cycles, r.stats.retired, r.stats.flushes));
+            if level == TelemetryLevel::Off && !r.telemetry.is_empty() {
+                atr_telemetry::warn!("ATR_TELEMETRY=off still produced telemetry — gating broken");
+                return ExitCode::FAILURE;
+            }
+            if level == TelemetryLevel::Stats && r.telemetry.cpi.is_none() {
+                atr_telemetry::warn!("stats level produced no CPI stack");
+                return ExitCode::FAILURE;
+            }
+        }
+        atr_telemetry::debug!("rep {rep}: off_min {off_min:?}, stats_min {stats_min:?}");
+    }
+    if fingerprints.windows(2).any(|w| w[0] != w[1]) {
+        atr_telemetry::warn!("telemetry level changed the simulated result: {fingerprints:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let ratio = off_min.as_secs_f64() / stats_min.as_secs_f64();
+    atr_telemetry::info!(
+        "telemetry_overhead: off {off_min:?} vs stats {stats_min:?} (off/stats = {ratio:.3})"
+    );
+    if ratio > TOLERANCE {
+        atr_telemetry::warn!(
+            "telemetry off path is {:.1}% slower than the stats path (tolerance 2%). \
+             The disabled path must do strictly less work than stats — check that \
+             OooCore skips the observer and that collect_events is not forced when \
+             ATR_TELEMETRY=off.",
+            (ratio - 1.0) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

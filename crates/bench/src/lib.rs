@@ -70,8 +70,8 @@ pub mod driver {
             println!("\n{footer}");
         }
         match save_json(name, rows) {
-            Ok(path) => println!("\nsaved {}", path.display()),
-            Err(err) => eprintln!("warning: could not save results/{name}.json: {err}"),
+            Ok(path) => atr_telemetry::info!("saved {}", path.display()),
+            Err(err) => atr_telemetry::warn!("could not save results/{name}.json: {err}"),
         }
     }
 }

@@ -77,10 +77,15 @@ pub struct PrfStats {
     /// Flush-walk entries skipped because ATR already released them
     /// (§4.2.4 double-free avoidance firing).
     pub flush_double_free_avoided: u64,
+    /// Releases counted by the register file itself, independently of
+    /// the renamer's per-kind classification above. The consistency
+    /// audit checks `total_released() == releases`; a mismatch means a
+    /// release path forgot (or double-counted) its kind counter.
+    pub releases: u64,
 }
 
 impl PrfStats {
-    /// Total releases of every kind.
+    /// Total releases of every kind, as classified by the renamer.
     #[must_use]
     pub fn total_released(&self) -> u64 {
         self.released_commit + self.released_precommit + self.released_atomic + self.released_flush
@@ -174,6 +179,7 @@ impl PhysRegFile {
 
     /// Marks a register released (free-list return is the caller's job).
     pub fn on_release(&mut self, tag: PTag) {
+        self.stats.releases += 1;
         let r = self.get_mut(tag);
         debug_assert!(r.allocated, "releasing a non-allocated register");
         r.allocated = false;

@@ -17,6 +17,36 @@ pub enum AccessKind {
     Prefetch,
 }
 
+/// The hierarchy level that ultimately serviced a demand access —
+/// i.e. the deepest level the request had to travel to. Telemetry uses
+/// this to classify memory-bound stall cycles by miss level; it has no
+/// effect on timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ServiceLevel {
+    /// L1 hit (or an MSHR merge into an in-flight L1 fill).
+    #[default]
+    L1,
+    /// L1 miss serviced by the L2.
+    L2,
+    /// L2 miss serviced by the LLC.
+    Llc,
+    /// LLC miss serviced by DRAM.
+    Dram,
+}
+
+impl ServiceLevel {
+    /// Short label for telemetry output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceLevel::L1 => "l1",
+            ServiceLevel::L2 => "l2",
+            ServiceLevel::Llc => "llc",
+            ServiceLevel::Dram => "dram",
+        }
+    }
+}
+
 /// Full-hierarchy configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemConfig {
@@ -90,6 +120,7 @@ pub struct MemoryHierarchy {
     dram: Dram,
     prefetcher: Prefetcher,
     prefetches_completed: u64,
+    last_service: ServiceLevel,
 }
 
 impl MemoryHierarchy {
@@ -104,7 +135,16 @@ impl MemoryHierarchy {
             dram: Dram::new(cfg.dram.clone()),
             prefetcher: Prefetcher::new(cfg.prefetch.clone(), cfg.l1d.line_bytes as u64),
             prefetches_completed: 0,
+            last_service: ServiceLevel::L1,
         }
+    }
+
+    /// The level that serviced the most recent demand access (set by
+    /// [`MemoryHierarchy::access`] for fetches, loads, and stores;
+    /// unchanged by prefetch fills).
+    #[must_use]
+    pub fn last_service_level(&self) -> ServiceLevel {
+        self.last_service
     }
 
     /// Performs an access starting at `cycle`; returns the cycle the data
@@ -121,9 +161,13 @@ impl MemoryHierarchy {
             }
         };
         if matches!(kind, AccessKind::Load | AccessKind::Store) {
+            // Prefetch fills walk the LLC path too; they must not
+            // clobber the demand access's service level.
+            let demand_level = self.last_service;
             for line in self.prefetcher.observe(addr) {
                 self.fill_prefetch(line, cycle);
             }
+            self.last_service = demand_level;
         }
         done
     }
@@ -135,6 +179,7 @@ impl MemoryHierarchy {
             // An in-flight line forwards its data on arrival (MSHR
             // merge); a present line pays the access latency.
             Probe::Hit { ready_at } => {
+                self.last_service = ServiceLevel::L1;
                 if ready_at > cycle {
                     ready_at
                 } else {
@@ -162,6 +207,7 @@ impl MemoryHierarchy {
         let lat = self.l2.config().latency;
         match self.l2.probe(addr, cycle, false) {
             Probe::Hit { ready_at } => {
+                self.last_service = ServiceLevel::L2;
                 if ready_at > cycle {
                     ready_at
                 } else {
@@ -184,6 +230,7 @@ impl MemoryHierarchy {
         let lat = self.llc.config().latency;
         match self.llc.probe(addr, cycle, false) {
             Probe::Hit { ready_at } => {
+                self.last_service = ServiceLevel::Llc;
                 if ready_at > cycle {
                     ready_at
                 } else {
@@ -191,6 +238,7 @@ impl MemoryHierarchy {
                 }
             }
             Probe::Miss => {
+                self.last_service = ServiceLevel::Dram;
                 let start = self.llc.mshr_admit(cycle) + lat;
                 let fill_done = self.dram.read(addr, start);
                 if let Some(wb) = self.llc.fill(addr, fill_done, false) {
@@ -270,8 +318,27 @@ mod tests {
         let done = m.access(AccessKind::Load, 0x1000, t0);
         // l1(3) + l2(14) + llc(40) + dram(195) = 252.
         assert_eq!(done, t0 + 3 + 14 + 40 + 195);
+        assert_eq!(m.last_service_level(), ServiceLevel::Dram);
         let hit = m.access(AccessKind::Load, 0x1000, done + 10);
         assert_eq!(hit, done + 10 + 3);
+        assert_eq!(m.last_service_level(), ServiceLevel::L1);
+    }
+
+    #[test]
+    fn service_level_tracks_the_deepest_level_touched() {
+        let mut m = no_prefetch();
+        // Fill enough lines to evict line 0 from L1D but keep it in L2
+        // (mirrors `l2_hit_after_l1_eviction_pressure`).
+        let base = 0x10_0000u64;
+        let mut t = 0;
+        for i in 0..2048u64 {
+            t = m.access(AccessKind::Load, base + i * 64, t + 1);
+        }
+        let reaccess = m.access(AccessKind::Load, base, t + 1);
+        assert_eq!(reaccess, t + 1 + 3 + 14, "expected an L2 hit");
+        assert_eq!(m.last_service_level(), ServiceLevel::L2);
+        assert!(ServiceLevel::L1 < ServiceLevel::L2);
+        assert!(ServiceLevel::Llc < ServiceLevel::Dram);
     }
 
     #[test]

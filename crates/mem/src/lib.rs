@@ -32,5 +32,5 @@ pub mod prefetch;
 
 pub use cache::{Cache, CacheConfig, CacheStats, ReplacementPolicy};
 pub use dram::{Dram, DramConfig};
-pub use hierarchy::{AccessKind, MemConfig, MemoryHierarchy};
+pub use hierarchy::{AccessKind, MemConfig, MemoryHierarchy, ServiceLevel};
 pub use prefetch::{PrefetchConfig, Prefetcher, PrefetcherKind};

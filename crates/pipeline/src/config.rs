@@ -3,6 +3,7 @@
 use atr_core::RenameConfig;
 use atr_frontend::BpuConfig;
 use atr_mem::MemConfig;
+use atr_telemetry::TelemetryConfig;
 
 /// Pipeline geometry and timing. Defaults reproduce Table 1's
 /// Golden-Cove-like core.
@@ -60,6 +61,10 @@ pub struct CoreConfig {
     pub bpu: BpuConfig,
     /// Memory hierarchy configuration.
     pub mem: MemConfig,
+    /// Observer configuration (CPI stack, histograms, pipeline trace).
+    /// Pure observation — never affects timing — and, like `audit`,
+    /// excluded from result-memoization keys.
+    pub telemetry: TelemetryConfig,
     /// Hard cap on simulated cycles (deadlock guard in tests).
     pub max_cycles: u64,
 }
@@ -89,6 +94,7 @@ impl Default for CoreConfig {
             rename: RenameConfig::default(),
             bpu: BpuConfig::default(),
             mem: MemConfig::golden_cove(),
+            telemetry: TelemetryConfig::default(),
             max_cycles: u64::MAX,
         }
     }
@@ -115,6 +121,13 @@ impl CoreConfig {
     #[must_use]
     pub fn with_audit(mut self, audit: bool) -> Self {
         self.rename.audit = audit;
+        self
+    }
+
+    /// Sets the telemetry (observer) configuration.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

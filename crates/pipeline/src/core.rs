@@ -9,10 +9,12 @@ use crate::iq::IssueQueue;
 use crate::lsq::{LoadCheck, Lsq};
 use crate::rob::{Rob, RobEntry, RobState};
 use crate::stats::CoreStats;
+use crate::telemetry::{CoreTelemetry, CycleView};
 use atr_core::{CheckpointPolicy, PTag, RegLifetime, RenameAuditor, Renamer};
 use atr_frontend::{Bpu, Prediction};
 use atr_isa::{ArchReg, DynInst, FuKind, InstSeq, OpClass, RegClass};
-use atr_mem::{AccessKind, MemoryHierarchy};
+use atr_mem::{AccessKind, MemoryHierarchy, ServiceLevel};
+use atr_telemetry::TraceStage;
 use atr_workload::{synthesize_outcome, Oracle, Program};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -93,6 +95,15 @@ pub struct OooCore {
     /// Retired-stream capture for differential validation; off unless
     /// [`OooCore::enable_retire_log`] was called.
     retire_log: Option<Vec<RetiredInst>>,
+    /// The observer ([`crate::telemetry`]); `None` when
+    /// `ATR_TELEMETRY=off`, so the hot loop pays one branch per hook.
+    telemetry: Option<Box<CoreTelemetry>>,
+    /// End of the current exception/interrupt serialization window
+    /// (telemetry attribution only — timing uses `fetch_stall_until`).
+    serialize_until: u64,
+    /// End of the current misprediction redirect window (telemetry
+    /// attribution only).
+    badspec_until: u64,
 }
 
 impl std::fmt::Debug for OooCore {
@@ -131,6 +142,12 @@ impl OooCore {
             pending_interrupt: None,
             auditor: cfg.rename.audit.then(RenameAuditor::new),
             retire_log: None,
+            telemetry: cfg
+                .telemetry
+                .stats_enabled()
+                .then(|| Box::new(CoreTelemetry::new(cfg.telemetry, cfg.retire_width as u64))),
+            serialize_until: 0,
+            badspec_until: 0,
             cycle: 1,
             oracle,
             program,
@@ -156,7 +173,13 @@ impl OooCore {
                 self.rob.head().map(|e| (e.inst.seq, e.inst.sinst.class, e.state))
             );
         }
-        self.snapshot_stats()
+        let stats = self.snapshot_stats();
+        if self.auditor.is_some() {
+            if let Err(e) = stats.check_consistency() {
+                panic!("CoreStats consistency audit failed: {e}");
+            }
+        }
+        stats
     }
 
     /// Statistics snapshot including substrate counters.
@@ -197,6 +220,25 @@ impl OooCore {
         self.auditor.as_ref()
     }
 
+    /// The attached observer, when telemetry is at `stats` or above.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&CoreTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detaches and returns the observer (runner aggregation after a
+    /// finished run).
+    pub fn take_telemetry(&mut self) -> Option<Box<CoreTelemetry>> {
+        self.telemetry.take()
+    }
+
+    /// The current pipeline-trace window in Konata text format, when
+    /// tracing (`ATR_TELEMETRY=trace`) is on.
+    #[must_use]
+    pub fn dump_konata(&self) -> Option<String> {
+        self.telemetry.as_ref().filter(|t| t.tracing()).map(|t| t.trace.dump_konata())
+    }
+
     /// Starts capturing every retired instruction for differential
     /// comparison. Call before [`OooCore::run`].
     pub fn enable_retire_log(&mut self) {
@@ -226,6 +268,13 @@ impl OooCore {
 
     /// Advances the model by one cycle.
     pub fn tick(&mut self) {
+        if let Some(t) = self.telemetry.as_mut() {
+            t.begin_cycle(
+                self.stats.retired,
+                self.stats.rename_freelist_stalls,
+                self.stats.rename_backpressure_stalls,
+            );
+        }
         self.renamer.tick(self.cycle);
         self.commit();
         self.service_interrupt();
@@ -234,17 +283,112 @@ impl OooCore {
         self.issue();
         self.dispatch();
         self.fetch();
-        if let Some(auditor) = self.auditor.as_mut() {
-            auditor.enforce_cycle(
-                &self.renamer,
-                self.rob.iter().map(|e| (&e.uop, e.issued())),
-                self.cycle,
-            );
-        }
+        self.enforce_audit_cycle();
         self.stats.int_prf_occupancy_sum += self.renamer.occupancy(RegClass::Int) as u128;
         self.stats.fp_prf_occupancy_sum += self.renamer.occupancy(RegClass::Fp) as u128;
+        if self.telemetry.is_some() {
+            self.telemetry_end_cycle();
+        }
         self.stats.cycles = self.cycle;
         self.cycle += 1;
+    }
+
+    /// Runs the renamer invariant audit; on failure, dumps the pipeline
+    /// trace window (when tracing) before propagating the panic, so the
+    /// cycles leading up to the violation can be inspected in Konata.
+    fn enforce_audit_cycle(&mut self) {
+        let Some(auditor) = self.auditor.as_mut() else { return };
+        let (renamer, rob, cycle) = (&self.renamer, &self.rob, self.cycle);
+        let dump_on_failure = self.telemetry.as_ref().is_some_and(|t| t.tracing());
+        if !dump_on_failure {
+            auditor.enforce_cycle(renamer, rob.iter().map(|e| (&e.uop, e.issued())), cycle);
+            return;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            auditor.enforce_cycle(renamer, rob.iter().map(|e| (&e.uop, e.issued())), cycle);
+        }));
+        if let Err(payload) = outcome {
+            if let Some(t) = self.telemetry.as_ref() {
+                let path = std::env::var("ATR_TRACE_DUMP")
+                    .unwrap_or_else(|_| format!("atr-audit-trace-cycle{cycle}.kanata"));
+                match std::fs::write(&path, t.trace.dump_konata()) {
+                    Ok(()) => atr_telemetry::info!(
+                        "audit failure at cycle {cycle}: wrote {} trace events to {path}",
+                        t.trace.len()
+                    ),
+                    Err(e) => atr_telemetry::warn!("could not write audit trace to {path}: {e}"),
+                }
+            }
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// End-of-cycle telemetry: CPI slot attribution and occupancy
+    /// sampling. Only called when the observer is attached.
+    fn telemetry_end_cycle(&mut self) {
+        let head_mem_level = self.rob.head().and_then(|h| {
+            (h.inst.sinst.class.is_load() && h.state == RobState::Issued)
+                .then_some(h.mem_level)
+                .flatten()
+        });
+        let rob_nonempty = !self.rob.is_empty();
+        let serializing = self.pending_interrupt.is_some() || self.cycle < self.serialize_until;
+        let redirecting = self.cycle < self.badspec_until;
+        let (rob_len, int_occ, fp_occ) = (
+            self.rob.len() as u64,
+            self.renamer.occupancy(RegClass::Int) as u64,
+            self.renamer.occupancy(RegClass::Fp) as u64,
+        );
+        let cycle = self.cycle;
+        let audit = self.auditor.is_some();
+        let t = self.telemetry.as_mut().expect("caller checked");
+        let (retired, freelist_stalled, backpressure_stalled) = t.delta(
+            self.stats.retired,
+            self.stats.rename_freelist_stalls,
+            self.stats.rename_backpressure_stalls,
+        );
+        t.end_cycle(&CycleView {
+            retired,
+            freelist_stalled,
+            backpressure_stalled,
+            rob_nonempty,
+            head_mem_level,
+            serializing,
+            redirecting,
+        });
+        t.sample_occupancy(cycle, rob_len, int_occ, fp_occ);
+        if audit {
+            if let Err(e) = t.cpi.check() {
+                panic!("cycle {cycle}: {e}");
+            }
+        }
+    }
+
+    /// Is the per-uop pipeline trace recording?
+    #[inline]
+    fn tracing(&self) -> bool {
+        self.telemetry.as_ref().is_some_and(|t| t.tracing())
+    }
+
+    /// Pushes a pipeline-trace event when tracing is on.
+    #[inline]
+    fn trace_event(&mut self, seq: InstSeq, stage: TraceStage, label: &str) {
+        if let Some(t) = self.telemetry.as_mut() {
+            if t.tracing() {
+                t.trace.push(seq, self.cycle, stage, label);
+            }
+        }
+    }
+
+    /// Records one flush's squash set: histogram plus trace events.
+    fn observe_flush(&mut self, squashed: &[RobEntry], cause: &str) {
+        let Some(t) = self.telemetry.as_mut() else { return };
+        t.flush_walk_len.record(squashed.len() as u64);
+        if t.tracing() {
+            for e in squashed {
+                t.trace.push(e.inst.seq, self.cycle, TraceStage::Flush, cause);
+            }
+        }
     }
 
     // ----------------------------------------------------------- fetch
@@ -331,6 +475,10 @@ impl OooCore {
             self.stats.fetched += 1;
             if fetched.inst.on_wrong_path {
                 self.stats.wrong_path_fetched += 1;
+            }
+            if self.tracing() {
+                let label = format!("{:?} {:#x}", fetched.inst.sinst.class, fetched.inst.sinst.pc);
+                self.trace_event(fetched.inst.seq, TraceStage::Fetch, &label);
             }
 
             // Fetch follows the prediction; a misprediction sends the
@@ -421,7 +569,9 @@ impl OooCore {
                 checkpoint,
                 precommitted: false,
                 renamed_at: self.cycle,
+                mem_level: None,
             });
+            self.trace_event(seq, TraceStage::Rename, "");
         }
     }
 
@@ -455,6 +605,7 @@ impl OooCore {
                 continue;
             }
 
+            let mut mem_level: Option<ServiceLevel> = None;
             let complete_at = match class {
                 OpClass::Load => {
                     let addr = mem_addr.expect("load without an address");
@@ -462,11 +613,14 @@ impl OooCore {
                         LoadCheck::Wait => continue,
                         LoadCheck::Forward { data_ready } => {
                             loads -= 1;
+                            mem_level = Some(ServiceLevel::L1);
                             (self.cycle + 1).max(data_ready) + u64::from(self.cfg.forward_latency)
                         }
                         LoadCheck::GoToMemory => {
                             loads -= 1;
-                            self.mem.access(AccessKind::Load, addr, self.cycle + 1)
+                            let done = self.mem.access(AccessKind::Load, addr, self.cycle + 1);
+                            mem_level = Some(self.mem.last_service_level());
+                            done
                         }
                     }
                 }
@@ -489,7 +643,9 @@ impl OooCore {
             let entry = self.rob.get_mut(seq).expect("entry exists");
             entry.state = RobState::Issued;
             entry.complete_at = complete_at;
+            entry.mem_level = mem_level;
             self.renamer.on_issue(&psrcs, self.cycle);
+            self.trace_event(seq, TraceStage::Issue, "");
             issued.push(seq);
         }
         self.iq.remove(&issued);
@@ -507,7 +663,7 @@ impl OooCore {
 
         let mut resolved_mispredict: Option<InstSeq> = None;
         for seq in completing {
-            let (pdst, is_cf, on_wp, mispredicted) = {
+            let (pdst, is_cf, on_wp, mispredicted, renamed_at) = {
                 let e = self.rob.get_mut(seq).expect("completing entry");
                 e.state = RobState::Completed;
                 (
@@ -515,12 +671,17 @@ impl OooCore {
                     e.inst.sinst.class.is_control_flow(),
                     e.inst.on_wrong_path,
                     e.mispredicted,
+                    e.renamed_at,
                 )
             };
             if let Some(p) = pdst {
                 self.renamer.set_ready(p);
             }
+            self.trace_event(seq, TraceStage::Exec, "");
             if is_cf && !on_wp {
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.branch_resolution.record(self.cycle.saturating_sub(renamed_at));
+                }
                 // Train at resolve with the architectural outcome.
                 let e = self.rob.get(seq).expect("entry");
                 let (sinst, taken, target) = (e.inst.sinst, e.inst.taken(), e.inst.next_pc());
@@ -580,6 +741,7 @@ impl OooCore {
 
         // Backend recovery: squash, walk, restore the SRT.
         let squashed = self.rob.squash_younger(seq);
+        self.observe_flush(&squashed, "mispredict");
         let records: Vec<atr_core::FlushRecord> =
             squashed.iter().map(|e| e.uop.flush_record(&e.inst.sinst, e.issued())).collect();
         self.renamer.flush_walk(&records, self.cycle);
@@ -599,6 +761,10 @@ impl OooCore {
         self.next_oracle_idx = oracle_idx + 1;
         self.fetch_pc = target;
         self.fetch_stall_until = self.cycle + u64::from(self.cfg.redirect_penalty);
+        // Telemetry: the bad-speculation window covers the redirect
+        // penalty plus the frontend refill before corrected-path
+        // instructions can reach rename again.
+        self.badspec_until = self.fetch_stall_until + u64::from(self.cfg.frontend_depth);
     }
 
     // ------------------------------------------------------- precommit
@@ -652,6 +818,7 @@ impl OooCore {
             let mut uop = e.uop;
             self.renamer.on_precommit(&mut uop, self.cycle);
             self.rob.get_mut(seq).expect("passed entry").uop = uop;
+            self.trace_event(seq, TraceStage::Precommit, "");
         }
     }
 
@@ -691,6 +858,15 @@ impl OooCore {
                 _ => {}
             }
             self.renamer.on_commit(&head.uop, self.cycle);
+            if self.tracing() {
+                self.trace_event(seq, TraceStage::Commit, "");
+                // The conventional commit-path release of the previous
+                // mapping (ATR-claimed previous mappings were released
+                // back at the redefine, inside the renamer).
+                if head.uop.prev_ptag.is_some() && !head.uop.atr_freed_prev {
+                    self.trace_event(seq, TraceStage::Release, "");
+                }
+            }
             if let Some(log) = self.retire_log.as_mut() {
                 log.push(RetiredInst {
                     oracle_idx: head.inst.oracle_idx,
@@ -719,6 +895,8 @@ impl OooCore {
                     self.pending_interrupt = None;
                     self.stats.interrupts += 1;
                     self.fetch_stall_until = self.cycle + u64::from(self.cfg.exception_penalty);
+                    self.serialize_until =
+                        self.fetch_stall_until + u64::from(self.cfg.frontend_depth);
                     self.last_commit_cycle = self.cycle;
                 }
             }
@@ -767,6 +945,7 @@ impl OooCore {
                     .unwrap_or(self.next_oracle_idx);
                 self.pending_interrupt = None;
                 self.stats.interrupts += 1;
+                self.observe_flush(&squashed, "interrupt");
 
                 let records: Vec<atr_core::FlushRecord> = squashed
                     .iter()
@@ -795,6 +974,7 @@ impl OooCore {
                 self.next_oracle_idx = resume_idx;
                 self.fetch_pc = self.oracle.get(resume_idx).sinst.pc;
                 self.fetch_stall_until = self.cycle + u64::from(self.cfg.exception_penalty);
+                self.serialize_until = self.fetch_stall_until + u64::from(self.cfg.frontend_depth);
                 self.last_commit_cycle = self.cycle;
             }
         }
@@ -803,6 +983,7 @@ impl OooCore {
     fn handle_exception(&mut self) {
         self.stats.exceptions += 1;
         let squashed = self.rob.squash_all();
+        self.observe_flush(&squashed, "exception");
         let oldest = squashed.last().expect("exception implies a head entry");
         let (resume_idx, resume_pc) = (oldest.inst.oracle_idx, oldest.inst.sinst.pc);
 
@@ -830,6 +1011,7 @@ impl OooCore {
         self.next_oracle_idx = resume_idx;
         self.fetch_pc = resume_pc;
         self.fetch_stall_until = self.cycle + u64::from(self.cfg.exception_penalty);
+        self.serialize_until = self.fetch_stall_until + u64::from(self.cfg.frontend_depth);
         self.last_commit_cycle = self.cycle;
     }
 }

@@ -35,8 +35,10 @@ pub mod iq;
 pub mod lsq;
 pub mod rob;
 pub mod stats;
+pub mod telemetry;
 
 pub use crate::core::{run_program, InterruptMode, OooCore, RetiredInst};
 pub use config::CoreConfig;
 pub use rob::{RobEntry, RobState};
 pub use stats::CoreStats;
+pub use telemetry::CoreTelemetry;

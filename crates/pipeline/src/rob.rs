@@ -3,6 +3,7 @@
 use atr_core::{RenamedUop, SrtCheckpoint};
 use atr_frontend::Prediction;
 use atr_isa::{DynInst, InstSeq};
+use atr_mem::ServiceLevel;
 use std::collections::VecDeque;
 
 /// Execution state of a ROB entry.
@@ -38,6 +39,9 @@ pub struct RobEntry {
     pub precommitted: bool,
     /// Cycle this entry was renamed (analysis).
     pub renamed_at: u64,
+    /// For loads that went to memory: the hierarchy level servicing
+    /// the access (telemetry's memory-bound classification).
+    pub mem_level: Option<ServiceLevel>,
 }
 
 impl RobEntry {
@@ -191,6 +195,7 @@ mod tests {
             checkpoint: None,
             precommitted: false,
             renamed_at: 0,
+            mem_level: None,
         }
     }
 

@@ -100,6 +100,54 @@ impl CoreStats {
             self.fp_prf_occupancy_sum as f64 / self.cycles as f64
         }
     }
+
+    /// Cross-checks counters that must agree by construction:
+    ///
+    /// * `fetched >= wrong_path_fetched` — wrong-path fetches are a
+    ///   subset of all fetches;
+    /// * `cond_mispredicts <= cond_branches` — a resolved on-path
+    ///   conditional mispredict implies that branch retires;
+    /// * `cond_mispredicts + target_mispredicts == flushes` — every
+    ///   mispredict flush is classified exactly once;
+    /// * per-file release-kind breakdowns sum to the register file's
+    ///   own independent release count.
+    ///
+    /// Enforced at end of run under `ATR_AUDIT=1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated relation.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.fetched < self.wrong_path_fetched {
+            return Err(format!(
+                "fetched ({}) < wrong_path_fetched ({})",
+                self.fetched, self.wrong_path_fetched
+            ));
+        }
+        if self.cond_mispredicts > self.cond_branches {
+            return Err(format!(
+                "cond_mispredicts ({}) > cond_branches ({})",
+                self.cond_mispredicts, self.cond_branches
+            ));
+        }
+        if self.cond_mispredicts + self.target_mispredicts != self.flushes {
+            return Err(format!(
+                "mispredict kinds ({} cond + {} target) != flushes ({})",
+                self.cond_mispredicts, self.target_mispredicts, self.flushes
+            ));
+        }
+        for (name, prf) in [("int_prf", &self.int_prf), ("fp_prf", &self.fp_prf)] {
+            if prf.total_released() != prf.releases {
+                return Err(format!(
+                    "{name} release kinds sum to {} but the register file \
+                     counted {} releases",
+                    prf.total_released(),
+                    prf.releases
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +176,49 @@ mod tests {
         let s = CoreStats::default();
         assert_eq!(s.ipc(), 0.0);
         assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn consistency_accepts_coherent_counters() {
+        let mut s = CoreStats {
+            fetched: 1000,
+            wrong_path_fetched: 100,
+            cond_branches: 200,
+            cond_mispredicts: 10,
+            target_mispredicts: 2,
+            flushes: 12,
+            ..CoreStats::default()
+        };
+        s.int_prf.released_commit = 40;
+        s.int_prf.released_atomic = 10;
+        s.int_prf.releases = 50;
+        s.fp_prf.released_flush = 3;
+        s.fp_prf.releases = 3;
+        s.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn consistency_rejects_each_violation() {
+        let base = CoreStats { fetched: 100, cond_branches: 10, ..CoreStats::default() };
+        base.check_consistency().unwrap();
+
+        let wp = CoreStats { wrong_path_fetched: 101, ..base.clone() };
+        assert!(wp.check_consistency().unwrap_err().contains("wrong_path_fetched"));
+
+        let mis = CoreStats { cond_mispredicts: 11, flushes: 11, ..base.clone() };
+        assert!(mis.check_consistency().unwrap_err().contains("cond_branches"));
+
+        let fl = CoreStats { cond_mispredicts: 2, flushes: 3, ..base.clone() };
+        assert!(fl.check_consistency().unwrap_err().contains("flushes"));
+
+        let mut rel = base.clone();
+        rel.int_prf.released_commit = 5;
+        rel.int_prf.releases = 4;
+        assert!(rel.check_consistency().unwrap_err().contains("int_prf"));
+
+        let mut fp = base;
+        fp.fp_prf.released_precommit = 1;
+        fp.fp_prf.releases = 2;
+        assert!(fp.check_consistency().unwrap_err().contains("fp_prf"));
     }
 }

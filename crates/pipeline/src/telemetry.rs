@@ -1,0 +1,283 @@
+//! The core-side telemetry observer.
+//!
+//! [`CoreTelemetry`] bundles everything the observability layer records
+//! about one core: the CPI stack, the pipeline-level histograms, the
+//! optional occupancy time series, and (at `trace` level) the per-uop
+//! ring trace. It is a pure observer — nothing in here feeds back into
+//! timing — and the whole struct is skipped when `ATR_TELEMETRY=off`,
+//! so the hot loop takes its pre-telemetry branches.
+//!
+//! Cycle attribution works on *deltas*: [`CoreTelemetry::begin_cycle`]
+//! snapshots the stall counters [`crate::CoreStats`] already maintains,
+//! the stages run, and [`OooCore::tick`](crate::OooCore::tick) ends the
+//! cycle by classifying the empty retire slots from the deltas plus the
+//! machine state (ROB head, redirect/serialization windows). The
+//! precedence order is documented in DESIGN.md §Observability.
+
+use atr_mem::ServiceLevel;
+use atr_telemetry::{CpiBucket, CpiStack, Log2Hist, PipeTrace, TelemetryConfig, TimeSeries};
+
+/// Histogram names, shared with the sim layer's JSONL records.
+pub mod hist_names {
+    /// ROB occupancy sampled every cycle.
+    pub const ROB_OCCUPANCY: &str = "rob_occupancy";
+    /// Allocated integer physical registers, sampled every cycle.
+    pub const INT_PRF_OCCUPANCY: &str = "int_prf_occupancy";
+    /// Allocated FP physical registers, sampled every cycle.
+    pub const FP_PRF_OCCUPANCY: &str = "fp_prf_occupancy";
+    /// Squashed instructions per flush walk.
+    pub const FLUSH_WALK_LEN: &str = "flush_walk_len";
+    /// Rename-to-resolve latency of on-path control flow.
+    pub const BRANCH_RESOLUTION: &str = "branch_resolution_latency";
+    /// Allocation-to-release lifetime of physical registers (cycles).
+    pub const REG_LIFETIME: &str = "reg_lifetime";
+    /// Redefine-to-release duration of ATR atomic claims (cycles).
+    pub const CLAIM_DURATION: &str = "claim_duration";
+}
+
+/// Scratch snapshot of the stall counters at the top of a cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleScratch {
+    retired: u64,
+    freelist_stalls: u64,
+    backpressure_stalls: u64,
+}
+
+/// What the rest of the machine reports into end-of-cycle attribution.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleView {
+    /// Instructions retired this cycle.
+    pub retired: u64,
+    /// Rename took a freelist-watermark stall this cycle.
+    pub freelist_stalled: bool,
+    /// Rename took a ROB/RS/LSQ backpressure stall this cycle.
+    pub backpressure_stalled: bool,
+    /// The ROB holds at least one instruction.
+    pub rob_nonempty: bool,
+    /// The ROB head is an issued, still-incomplete load, and this is
+    /// the level that serviced (is servicing) its access.
+    pub head_mem_level: Option<ServiceLevel>,
+    /// An exception/interrupt serialization window is open.
+    pub serializing: bool,
+    /// A misprediction redirect window is open (recovery + refill).
+    pub redirecting: bool,
+}
+
+/// Per-core observer state. Construct with [`CoreTelemetry::new`]; a
+/// `None` observer (telemetry off) costs the pipeline one branch per
+/// hook site.
+#[derive(Debug)]
+pub struct CoreTelemetry {
+    cfg: TelemetryConfig,
+    /// The CPI stack under construction.
+    pub cpi: CpiStack,
+    /// ROB occupancy histogram.
+    pub rob_occupancy: Log2Hist,
+    /// Integer PRF occupancy histogram.
+    pub int_prf_occupancy: Log2Hist,
+    /// FP PRF occupancy histogram.
+    pub fp_prf_occupancy: Log2Hist,
+    /// Flush-walk length histogram.
+    pub flush_walk_len: Log2Hist,
+    /// Branch resolution latency histogram.
+    pub branch_resolution: Log2Hist,
+    /// Integer PRF occupancy time series (when sampling is on).
+    pub int_occ_series: TimeSeries,
+    /// The per-uop ring trace (empty below `trace` level).
+    pub trace: PipeTrace,
+    scratch: CycleScratch,
+}
+
+impl CoreTelemetry {
+    /// Builds the observer for a `retire_width`-wide core.
+    #[must_use]
+    pub fn new(cfg: TelemetryConfig, retire_width: u64) -> Self {
+        CoreTelemetry {
+            cpi: CpiStack::new(retire_width),
+            rob_occupancy: Log2Hist::new(),
+            int_prf_occupancy: Log2Hist::new(),
+            fp_prf_occupancy: Log2Hist::new(),
+            flush_walk_len: Log2Hist::new(),
+            branch_resolution: Log2Hist::new(),
+            int_occ_series: TimeSeries::new(cfg.series_interval),
+            trace: PipeTrace::new(if cfg.trace_enabled() { cfg.trace_cap } else { 0 }),
+            scratch: CycleScratch::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration the observer was built with.
+    #[must_use]
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    /// Is the per-uop trace recording?
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        !self.trace.is_disabled()
+    }
+
+    /// Snapshots the stall counters before the stages run.
+    pub fn begin_cycle(&mut self, retired: u64, freelist_stalls: u64, backpressure_stalls: u64) {
+        self.scratch = CycleScratch { retired, freelist_stalls, backpressure_stalls };
+    }
+
+    /// Builds the end-of-cycle view from the post-stage counters.
+    #[must_use]
+    pub fn delta(
+        &self,
+        retired: u64,
+        freelist_stalls: u64,
+        backpressure_stalls: u64,
+    ) -> (u64, bool, bool) {
+        (
+            retired - self.scratch.retired,
+            freelist_stalls > self.scratch.freelist_stalls,
+            backpressure_stalls > self.scratch.backpressure_stalls,
+        )
+    }
+
+    /// Attributes one cycle's empty retire slots. The precedence here
+    /// is the contract documented in DESIGN.md §Observability: every
+    /// empty slot gets exactly one cause, chosen by the first test
+    /// that fires.
+    pub fn end_cycle(&mut self, view: &CycleView) {
+        let width = self.cpi.width;
+        debug_assert!(view.retired <= width);
+        if view.retired == width {
+            self.cpi.account_cycle(view.retired, CpiBucket::Retiring);
+            return;
+        }
+        let cause = if view.serializing {
+            CpiBucket::Serialization
+        } else if view.redirecting {
+            CpiBucket::BadSpeculation
+        } else if view.freelist_stalled {
+            CpiBucket::FreelistStall
+        } else if view.rob_nonempty {
+            match view.head_mem_level {
+                Some(ServiceLevel::L1) => CpiBucket::MemL1,
+                Some(ServiceLevel::L2) => CpiBucket::MemL2,
+                Some(ServiceLevel::Llc) => CpiBucket::MemLlc,
+                Some(ServiceLevel::Dram) => CpiBucket::MemDram,
+                None if view.backpressure_stalled => CpiBucket::Backpressure,
+                None => CpiBucket::ExecLatency,
+            }
+        } else {
+            CpiBucket::FrontendLatency
+        };
+        self.cpi.account_cycle(view.retired, cause);
+    }
+
+    /// Samples the occupancy histograms (and the optional series) for
+    /// one cycle.
+    pub fn sample_occupancy(&mut self, cycle: u64, rob: u64, int_prf: u64, fp_prf: u64) {
+        self.rob_occupancy.record(rob);
+        self.int_prf_occupancy.record(int_prf);
+        self.fp_prf_occupancy.record(fp_prf);
+        self.int_occ_series.maybe_sample(cycle, int_prf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_telemetry::TelemetryLevel;
+
+    fn view() -> CycleView {
+        CycleView {
+            retired: 0,
+            freelist_stalled: false,
+            backpressure_stalled: false,
+            rob_nonempty: false,
+            head_mem_level: None,
+            serializing: false,
+            redirecting: false,
+        }
+    }
+
+    fn telem() -> CoreTelemetry {
+        let cfg = TelemetryConfig { level: TelemetryLevel::Stats, ..TelemetryConfig::default() };
+        CoreTelemetry::new(cfg, 8)
+    }
+
+    #[test]
+    fn precedence_serialization_beats_everything() {
+        let mut t = telem();
+        t.end_cycle(&CycleView {
+            serializing: true,
+            redirecting: true,
+            freelist_stalled: true,
+            rob_nonempty: true,
+            head_mem_level: Some(ServiceLevel::Dram),
+            ..view()
+        });
+        assert_eq!(t.cpi.get(CpiBucket::Serialization), 8);
+    }
+
+    #[test]
+    fn precedence_freelist_beats_memory() {
+        let mut t = telem();
+        t.end_cycle(&CycleView {
+            freelist_stalled: true,
+            rob_nonempty: true,
+            head_mem_level: Some(ServiceLevel::Dram),
+            ..view()
+        });
+        assert_eq!(t.cpi.get(CpiBucket::FreelistStall), 8);
+    }
+
+    #[test]
+    fn memory_bound_classified_by_service_level() {
+        let mut t = telem();
+        t.end_cycle(&CycleView {
+            retired: 2,
+            rob_nonempty: true,
+            backpressure_stalled: true, // mem-bound head outranks backpressure
+            head_mem_level: Some(ServiceLevel::Llc),
+            ..view()
+        });
+        assert_eq!(t.cpi.get(CpiBucket::Retiring), 2);
+        assert_eq!(t.cpi.get(CpiBucket::MemLlc), 6);
+        t.cpi.check().unwrap();
+    }
+
+    #[test]
+    fn empty_rob_without_stalls_is_frontend() {
+        let mut t = telem();
+        t.end_cycle(&view());
+        assert_eq!(t.cpi.get(CpiBucket::FrontendLatency), 8);
+    }
+
+    #[test]
+    fn full_retire_skips_cause_analysis() {
+        let mut t = telem();
+        t.end_cycle(&CycleView { retired: 8, serializing: true, ..view() });
+        assert_eq!(t.cpi.get(CpiBucket::Retiring), 8);
+        assert_eq!(t.cpi.get(CpiBucket::Serialization), 0);
+    }
+
+    #[test]
+    fn delta_capture_roundtrip() {
+        let mut t = telem();
+        t.begin_cycle(100, 5, 7);
+        let (retired, fl, bp) = t.delta(104, 5, 8);
+        assert_eq!(retired, 4);
+        assert!(!fl);
+        assert!(bp);
+    }
+
+    #[test]
+    fn trace_ring_only_at_trace_level() {
+        let stats_only = telem();
+        assert!(!stats_only.tracing());
+        let cfg = TelemetryConfig {
+            level: TelemetryLevel::Trace,
+            trace_cap: 128,
+            ..TelemetryConfig::default()
+        };
+        let tracing = CoreTelemetry::new(cfg, 8);
+        assert!(tracing.tracing());
+    }
+}

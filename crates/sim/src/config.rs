@@ -51,13 +51,23 @@ pub fn audit_from_env() -> bool {
     std::env::var("ATR_AUDIT").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
 }
 
+/// Reads the telemetry (observer) configuration from `ATR_TELEMETRY`
+/// plus `ATR_TRACE_CAP` / `ATR_TELEMETRY_SERIES`. Telemetry is pure
+/// observation — flipping it never changes a simulated result — so,
+/// like [`audit_from_env`], it is deliberately *not* part of the
+/// run-matrix memoization key.
+#[must_use]
+pub fn telemetry_from_env() -> atr_telemetry::TelemetryConfig {
+    atr_telemetry::TelemetryConfig::from_env()
+}
+
 fn env_u64(var: &str, default: u64) -> u64 {
     match std::env::var(var) {
         Ok(raw) => match raw.trim().parse() {
             Ok(v) => v,
             Err(_) => {
-                eprintln!(
-                    "warning: ignoring malformed {var}={raw:?} (expected an \
+                atr_telemetry::warn!(
+                    "ignoring malformed {var}={raw:?} (expected an \
                      unsigned instruction count); using default {default}"
                 );
                 default

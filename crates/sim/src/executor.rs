@@ -9,6 +9,8 @@
 //!
 //! * `ATR_SIM_THREADS` — worker count (default: available cores).
 //! * `ATR_SIM_PROGRESS=0` — silence the per-point progress lines.
+//! * `ATR_TELEMETRY=stats|trace` — emit one JSONL telemetry record per
+//!   point (see [`crate::telemetry`]), to stdout or `ATR_TELEMETRY_OUT`.
 
 use crate::matrix::SimPoint;
 use crate::runner::{run, RunResult, RunSpec};
@@ -18,7 +20,7 @@ use atr_workload::Program;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The worker count: `ATR_SIM_THREADS` if set and valid, otherwise the
 /// machine's available parallelism.
@@ -27,8 +29,8 @@ pub fn thread_count() -> usize {
     if let Ok(raw) = std::env::var("ATR_SIM_THREADS") {
         match raw.trim().parse::<usize>() {
             Ok(n) if n > 0 => return n,
-            _ => eprintln!(
-                "warning: ignoring malformed ATR_SIM_THREADS={raw:?} (expected a positive count)"
+            _ => atr_telemetry::warn!(
+                "ignoring malformed ATR_SIM_THREADS={raw:?} (expected a positive count)"
             ),
         }
     }
@@ -72,11 +74,12 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
     }
     let workers = threads.clamp(1, points.len());
     let progress = progress_enabled();
+    let telemetry = crate::config::telemetry_from_env();
     let t0 = Instant::now();
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
 
-    let mut results: Vec<Option<RunResult>> = Vec::new();
+    let mut results: Vec<Option<(RunResult, Duration)>> = Vec::new();
     results.resize_with(points.len(), || None);
 
     std::thread::scope(|scope| {
@@ -86,7 +89,7 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
             let done = &done;
             let programs = &programs;
             handles.push(scope.spawn(move || {
-                let mut produced: Vec<(usize, RunResult)> = Vec::new();
+                let mut produced: Vec<(usize, RunResult, Duration)> = Vec::new();
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= points.len() {
@@ -95,29 +98,46 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
                     let point = &points[idx];
                     let started = Instant::now();
                     let result = run_point(core, programs[point.profile].clone(), point);
+                    let wall = started.elapsed();
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
-                        eprintln!(
+                        atr_telemetry::info!(
                             "[matrix {:>4}/{:<4} {:>7.1?}] {} ({:.0?})",
                             finished,
                             points.len(),
                             t0.elapsed(),
                             point.label(),
-                            started.elapsed(),
+                            wall,
                         );
                     }
-                    produced.push((idx, result));
+                    produced.push((idx, result, wall));
                 }
             }));
         }
         for handle in handles {
-            for (idx, result) in handle.join().expect("simulation worker panicked") {
-                results[idx] = Some(result);
+            for (idx, result, wall) in handle.join().expect("simulation worker panicked") {
+                results[idx] = Some((result, wall));
             }
         }
     });
 
-    results.into_iter().map(|r| r.expect("every index claimed by exactly one worker")).collect()
+    let results: Vec<(RunResult, Duration)> = results
+        .into_iter()
+        .map(|r| r.expect("every index claimed by exactly one worker"))
+        .collect();
+
+    // One JSONL record per point, in input order — stable no matter
+    // which worker ran what.
+    if telemetry.stats_enabled() {
+        let lines: Vec<String> = points
+            .iter()
+            .zip(&results)
+            .map(|(point, (result, wall))| crate::telemetry::record(point, result, *wall).compact())
+            .collect();
+        crate::telemetry::emit_lines(&lines);
+    }
+
+    results.into_iter().map(|(r, _)| r).collect()
 }
 
 fn run_point(core: &CoreConfig, program: Arc<Program>, point: &SimPoint) -> RunResult {
@@ -130,6 +150,7 @@ fn run_point(core: &CoreConfig, program: Arc<Program>, point: &SimPoint) -> RunR
         measure: point.measure,
         collect_events: point.collect_events,
         audit: crate::config::audit_from_env(),
+        telemetry: crate::config::telemetry_from_env(),
     };
     run(&cfg, program, &spec)
 }

@@ -33,6 +33,7 @@ pub mod experiments;
 pub mod matrix;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 pub use config::{table1, SimConfig};
 pub use differential::{run_differential, DifferentialReport, SchemeStream};

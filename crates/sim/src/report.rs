@@ -2,6 +2,7 @@
 //! experiment binaries.
 
 use atr_json::ToJson;
+use atr_telemetry::{CpiBucket, CpiStack};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -55,6 +56,36 @@ pub fn gain(speedup: f64) -> String {
     format!("{:+.2}%", (speedup - 1.0) * 100.0)
 }
 
+/// Renders labeled CPI stacks side by side: one row per top-down
+/// bucket (slot share as a percentage, zero rows elided when no stack
+/// uses them) plus a closing `cpi` row.
+#[must_use]
+pub fn cpi_table(stacks: &[(String, &CpiStack)]) -> String {
+    let mut headers = vec!["bucket"];
+    for (name, _) in stacks {
+        headers.push(name);
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for bucket in CpiBucket::ALL {
+        if stacks.iter().all(|(_, s)| s.get(bucket) == 0) {
+            continue;
+        }
+        let mut row = vec![bucket.label().to_owned()];
+        for (_, stack) in stacks {
+            row.push(pct(stack.fraction(bucket)));
+        }
+        rows.push(row);
+    }
+    let mut cpi_row = vec!["cpi".to_owned()];
+    for (_, stack) in stacks {
+        let retired = stack.get(CpiBucket::Retiring).max(1);
+        #[allow(clippy::cast_precision_loss)]
+        cpi_row.push(format!("{:.3}", stack.cycles as f64 / retired as f64));
+    }
+    rows.push(cpi_row);
+    render_table(&headers, &rows)
+}
+
 /// The directory experiment JSON lands in: `ATR_RESULTS_DIR` if set,
 /// otherwise `<workspace root>/results` — so the binaries write to the
 /// same place no matter which directory they are launched from.
@@ -106,6 +137,23 @@ mod tests {
         assert_eq!(pct(0.1234), "12.34%");
         assert_eq!(gain(1.0513), "+5.13%");
         assert_eq!(gain(0.97), "-3.00%");
+    }
+
+    #[test]
+    fn cpi_table_shares_and_elides_zero_buckets() {
+        let mut a = CpiStack::new(8);
+        a.account_cycle(8, CpiBucket::Retiring); // full retire
+        a.account_cycle(0, CpiBucket::MemDram);
+        let mut b = CpiStack::new(8);
+        b.account_cycle(4, CpiBucket::FreelistStall);
+        let t = cpi_table(&[("base".to_owned(), &a), ("atr".to_owned(), &b)]);
+        assert!(t.contains("retiring"));
+        assert!(t.contains("mem_dram"));
+        assert!(t.contains("freelist_stall"));
+        assert!(!t.contains("serialization"), "all-zero buckets are elided:\n{t}");
+        assert!(t.lines().last().unwrap().starts_with("cpi"));
+        // base: 2 cycles / 8 retired = 0.25 CPI.
+        assert!(t.contains("0.250"), "{t}");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The measurement runner: warmup + measured window over one workload.
 
-use atr_core::{RegLifetime, ReleaseScheme};
+use atr_core::{RegLifetime, ReleaseKind, ReleaseScheme};
+use atr_pipeline::telemetry::hist_names;
 use atr_pipeline::{CoreConfig, CoreStats, OooCore};
+use atr_telemetry::{Log2Hist, RunTelemetry, TelemetryConfig};
 use atr_workload::{Oracle, Program, SpecProfile};
 use std::sync::Arc;
 
@@ -23,15 +25,21 @@ pub struct RunSpec {
     /// Purely a checking knob: audited runs produce bit-identical
     /// results, they just panic on the first broken release invariant.
     pub audit: bool,
+    /// Observer configuration (CPI stack, histograms, trace). Like
+    /// `audit`, pure observation: results are bit-identical at every
+    /// level, so this is excluded from memoization keys.
+    pub telemetry: TelemetryConfig,
 }
 
 impl RunSpec {
-    /// A spec with the environment-controlled budget and audit switch.
+    /// A spec with the environment-controlled budget, audit switch, and
+    /// telemetry level.
     #[must_use]
     pub fn new(scheme: ReleaseScheme, rf_size: usize) -> Self {
         let (warmup, measure) = crate::config::budget_from_env();
         let audit = crate::config::audit_from_env();
-        RunSpec { scheme, rf_size, warmup, measure, collect_events: false, audit }
+        let telemetry = crate::config::telemetry_from_env();
+        RunSpec { scheme, rf_size, warmup, measure, collect_events: false, audit, telemetry }
     }
 
     /// Enables lifetime-event collection.
@@ -55,6 +63,8 @@ pub struct RunResult {
     pub stats: CoreStats,
     /// Lifetime records (empty unless requested).
     pub lifetimes: Vec<RegLifetime>,
+    /// What the observer recorded (empty when `ATR_TELEMETRY=off`).
+    pub telemetry: RunTelemetry,
 }
 
 /// Runs `program` under `spec` on top of `base` (everything except
@@ -62,8 +72,14 @@ pub struct RunResult {
 #[must_use]
 pub fn run(base: &CoreConfig, program: Arc<Program>, spec: &RunSpec) -> RunResult {
     let mut cfg = base.clone().with_rf_size(spec.rf_size).with_scheme(spec.scheme);
-    cfg.rename.collect_events = spec.collect_events;
+    // Stats-level telemetry derives the lifetime/claim histograms from
+    // the lifetime log, so it forces collection on. Collection is
+    // observation-only (pinned by
+    // `executor::tests::event_collection_does_not_change_timing`), so
+    // the forced log cannot perturb the timed result.
+    cfg.rename.collect_events = spec.collect_events || spec.telemetry.stats_enabled();
     cfg.rename.audit = spec.audit;
+    cfg.telemetry = spec.telemetry;
     let mut core = OooCore::new(cfg, Oracle::new(program));
     let s0 = if spec.warmup > 0 { core.run(spec.warmup) } else { core.snapshot_stats() };
     let s1 = core.run(spec.measure);
@@ -71,13 +87,54 @@ pub fn run(base: &CoreConfig, program: Arc<Program>, spec: &RunSpec) -> RunResul
     let ipc = (s1.retired - s0.retired) as f64 / cycles as f64;
     let avg_int = (s1.int_prf_occupancy_sum - s0.int_prf_occupancy_sum) as f64 / cycles as f64;
     let avg_fp = (s1.fp_prf_occupancy_sum - s0.fp_prf_occupancy_sum) as f64 / cycles as f64;
+    let telemetry = collect_telemetry(&mut core);
     RunResult {
         ipc,
         avg_int_occupancy: avg_int,
         avg_fp_occupancy: avg_fp,
         stats: s1,
-        lifetimes: core.lifetime_log().to_vec(),
+        // Only the *requested* log is surfaced: a telemetry-forced log
+        // stays private so results stay bit-identical to an off run.
+        lifetimes: if spec.collect_events { core.lifetime_log().to_vec() } else { Vec::new() },
+        telemetry,
     }
+}
+
+/// Detaches the core's observer and folds it — plus the histograms
+/// derived from the lifetime log — into a [`RunTelemetry`].
+fn collect_telemetry(core: &mut OooCore) -> RunTelemetry {
+    let mut out = RunTelemetry::default();
+    let Some(t) = core.take_telemetry() else {
+        return out;
+    };
+    let t = *t;
+    out.cpi = Some(t.cpi);
+    out.hists = vec![
+        (hist_names::ROB_OCCUPANCY.to_owned(), t.rob_occupancy),
+        (hist_names::INT_PRF_OCCUPANCY.to_owned(), t.int_prf_occupancy),
+        (hist_names::FP_PRF_OCCUPANCY.to_owned(), t.fp_prf_occupancy),
+        (hist_names::FLUSH_WALK_LEN.to_owned(), t.flush_walk_len),
+        (hist_names::BRANCH_RESOLUTION.to_owned(), t.branch_resolution),
+    ];
+    if !t.int_occ_series.values.is_empty() {
+        out.series.push((hist_names::INT_PRF_OCCUPANCY.to_owned(), t.int_occ_series));
+    }
+    let mut lifetime = Log2Hist::new();
+    let mut claim = Log2Hist::new();
+    for rec in core.lifetime_log() {
+        let Some(released) = rec.release_cycle else {
+            continue;
+        };
+        lifetime.record(released.saturating_sub(rec.alloc_cycle));
+        if rec.release_kind == Some(ReleaseKind::Atomic) {
+            if let Some(redefined) = rec.redefine_cycle {
+                claim.record(released.saturating_sub(redefined));
+            }
+        }
+    }
+    out.hists.push((hist_names::REG_LIFETIME.to_owned(), lifetime));
+    out.hists.push((hist_names::CLAIM_DURATION.to_owned(), claim));
+    out
 }
 
 /// Convenience: run a named SPEC profile.
@@ -120,7 +177,41 @@ mod tests {
             measure: 10_000,
             collect_events: false,
             audit: false,
+            telemetry: TelemetryConfig::default(),
         }
+    }
+
+    #[test]
+    fn stats_telemetry_fills_cpi_and_derived_histograms() {
+        use atr_telemetry::{CpiBucket, TelemetryLevel};
+        let program = ProfileParams::default().build();
+        let mut spec = quick_spec(ReleaseScheme::Atr { redefine_delay: 0 }, 96);
+        spec.telemetry = TelemetryConfig {
+            level: TelemetryLevel::Stats,
+            series_interval: 100,
+            ..TelemetryConfig::default()
+        };
+        let r = run(&CoreConfig::default(), program.clone(), &spec);
+        let cpi = r.telemetry.cpi.as_ref().expect("stats level records a CPI stack");
+        cpi.check().unwrap();
+        // The core's cycle counter has origin 1, so the observer sees
+        // exactly stats.cycles - 1 ticks.
+        assert_eq!(cpi.cycles + 1, r.stats.cycles);
+        assert!(cpi.get(CpiBucket::Retiring) > 0);
+        let lifetime = r.telemetry.hist("reg_lifetime").unwrap();
+        assert!(lifetime.count > 0, "released registers must land in the lifetime histogram");
+        let claim = r.telemetry.hist("claim_duration").unwrap();
+        assert!(claim.count > 0, "ATR runs must record atomic claim durations");
+        assert!(claim.count <= lifetime.count);
+        assert_eq!(r.telemetry.series.len(), 1, "series sampling was requested");
+        assert!(r.lifetimes.is_empty(), "telemetry-forced log must stay private");
+
+        // The observer never perturbs the simulated result.
+        spec.telemetry = TelemetryConfig::default();
+        let off = run(&CoreConfig::default(), program, &spec);
+        assert_eq!(off.ipc.to_bits(), r.ipc.to_bits());
+        assert_eq!(off.stats.cycles, r.stats.cycles);
+        assert!(off.telemetry.is_empty());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Integration tests for the observability layer: CPI-stack validity
+//! across every scheme and profile, scheme sensitivity of the
+//! freelist-stall bucket, and the zero-perturbation guarantee.
+
+use atr_core::ReleaseScheme;
+use atr_pipeline::CoreConfig;
+use atr_sim::runner::{run_profile, RunSpec};
+use atr_telemetry::{CpiBucket, TelemetryConfig, TelemetryLevel};
+use atr_workload::spec::all_profiles;
+
+/// The paper's four schemes (Fig 10's three plus the baseline).
+const SCHEMES: [ReleaseScheme; 4] = [
+    ReleaseScheme::Baseline,
+    ReleaseScheme::NonSpecEr,
+    ReleaseScheme::Atr { redefine_delay: 0 },
+    ReleaseScheme::Combined { redefine_delay: 0 },
+];
+
+fn spec(scheme: ReleaseScheme, rf: usize, warmup: u64, measure: u64) -> RunSpec {
+    RunSpec {
+        scheme,
+        rf_size: rf,
+        warmup,
+        measure,
+        collect_events: false,
+        audit: false,
+        telemetry: TelemetryConfig { level: TelemetryLevel::Stats, ..TelemetryConfig::default() },
+    }
+}
+
+/// The `Σ slots == width × cycles` invariant must hold for every scheme
+/// on every SPEC profile — the explicit tiny budget keeps this a
+/// seconds-scale sweep while still crossing every attribution path.
+#[test]
+fn cpi_invariant_holds_for_all_schemes_and_profiles() {
+    let base = CoreConfig::default();
+    for profile in &all_profiles() {
+        for scheme in SCHEMES {
+            let r = run_profile(&base, profile, &spec(scheme, 64, 500, 2_000));
+            let cpi = r
+                .telemetry
+                .cpi
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} {}: no CPI stack", profile.name, scheme.label()));
+            cpi.check().unwrap_or_else(|e| {
+                panic!("{} {}: CPI invariant broken: {e}", profile.name, scheme.label())
+            });
+            assert!(
+                cpi.get(CpiBucket::Retiring) > 0,
+                "{} {}: nothing retired into the stack",
+                profile.name,
+                scheme.label()
+            );
+        }
+    }
+}
+
+/// The CPI stack must be scheme-sensitive where the paper says the
+/// schemes differ: under freelist pressure, ATR's early releases must
+/// strictly shrink the freelist-stall bucket relative to the baseline.
+#[test]
+fn freelist_stall_bucket_shrinks_under_atr() {
+    let base = CoreConfig::default();
+    let profiles = all_profiles();
+    let pressured = profiles.iter().find(|p| p.name == "548.exchange2_r").expect("profile exists");
+    let stalls = |scheme: ReleaseScheme| {
+        let r = run_profile(&base, pressured, &spec(scheme, 64, 2_000, 20_000));
+        r.telemetry.cpi.as_ref().expect("stats level").get(CpiBucket::FreelistStall)
+    };
+    let baseline = stalls(ReleaseScheme::Baseline);
+    let atr = stalls(ReleaseScheme::Atr { redefine_delay: 0 });
+    assert!(baseline > 0, "the pressured point must actually stall the baseline's freelist");
+    assert!(
+        baseline > atr,
+        "ATR must attribute strictly fewer freelist-stall slots \
+         (baseline {baseline} vs atr {atr})"
+    );
+}
+
+/// Telemetry is a pure observer: the whole `CoreStats` block — not just
+/// IPC — must be bit-identical across off, stats, and trace levels.
+#[test]
+fn telemetry_levels_never_perturb_core_stats() {
+    let base = CoreConfig::default();
+    let profiles = all_profiles();
+    let profile = profiles.iter().find(|p| p.name == "505.mcf_r").expect("profile exists");
+    let run_at = |level: TelemetryLevel| {
+        let mut s = spec(ReleaseScheme::Combined { redefine_delay: 0 }, 96, 500, 4_000);
+        s.telemetry.level = level;
+        run_profile(&base, profile, &s)
+    };
+    let off = run_at(TelemetryLevel::Off);
+    let stats = run_at(TelemetryLevel::Stats);
+    let trace = run_at(TelemetryLevel::Trace);
+    // `markings` is the one counter event collection legitimately
+    // enables (region marking for the log); everything timed must match.
+    let fingerprint = |r: &atr_sim::RunResult| {
+        format!(
+            "{:?} {:?} {:?} {:?}",
+            r.ipc.to_bits(),
+            (r.stats.cycles, r.stats.retired, r.stats.fetched, r.stats.flushes),
+            (r.stats.rename_freelist_stalls, r.stats.rename_backpressure_stalls),
+            (r.stats.int_prf, r.stats.fp_prf, r.stats.caches, r.stats.dram),
+        )
+    };
+    assert_eq!(fingerprint(&off), fingerprint(&stats));
+    assert_eq!(fingerprint(&off), fingerprint(&trace));
+    assert!(off.telemetry.is_empty());
+    assert!(!stats.telemetry.is_empty());
+}

@@ -1,0 +1,138 @@
+//! Runtime telemetry gating.
+//!
+//! Telemetry is an observer, never part of the simulated machine, so
+//! its level is read from the environment at run construction and is
+//! deliberately **excluded** from the SimPoint memoization key (same
+//! policy as `ATR_AUDIT`): flipping `ATR_TELEMETRY` must never fork
+//! the result cache, because results are identical either way.
+
+/// How much the observer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TelemetryLevel {
+    /// Nothing: the hot loop takes the same branches as before the
+    /// telemetry layer existed (the <2% CI guard polices this).
+    #[default]
+    Off,
+    /// CPI stack, histograms, optional time series, JSONL records.
+    Stats,
+    /// Everything in `Stats` plus the per-uop pipeline ring trace.
+    Trace,
+}
+
+impl TelemetryLevel {
+    /// Parses an `ATR_TELEMETRY` value.
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<TelemetryLevel> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(TelemetryLevel::Off),
+            "stats" | "1" | "on" => Some(TelemetryLevel::Stats),
+            "trace" | "2" => Some(TelemetryLevel::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// Default ring capacity for the pipeline trace (events, not cycles).
+pub const DEFAULT_TRACE_CAP: usize = 65_536;
+
+/// Complete observer configuration, carried on `CoreConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TelemetryConfig {
+    /// What to record.
+    pub level: TelemetryLevel,
+    /// Pipeline-trace ring capacity (only meaningful at `Trace`).
+    pub trace_cap: usize,
+    /// Occupancy time-series sampling interval in cycles (0 = off).
+    pub series_interval: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            level: TelemetryLevel::Off,
+            trace_cap: DEFAULT_TRACE_CAP,
+            series_interval: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Reads `ATR_TELEMETRY` (off|stats|trace), `ATR_TRACE_CAP`, and
+    /// `ATR_TELEMETRY_SERIES` (sampling interval in cycles). Malformed
+    /// values warn once and fall back to the defaults above.
+    #[must_use]
+    pub fn from_env() -> TelemetryConfig {
+        let mut cfg = TelemetryConfig::default();
+        if let Ok(raw) = std::env::var("ATR_TELEMETRY") {
+            match TelemetryLevel::parse(&raw) {
+                Some(level) => cfg.level = level,
+                None => {
+                    crate::warn!(
+                        "ignoring malformed ATR_TELEMETRY={raw:?} \
+                         (expected off|stats|trace); telemetry stays off"
+                    );
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var("ATR_TRACE_CAP") {
+            match raw.trim().parse::<usize>() {
+                Ok(cap) => cfg.trace_cap = cap,
+                Err(_) => {
+                    crate::warn!(
+                        "ignoring malformed ATR_TRACE_CAP={raw:?}; \
+                         using {DEFAULT_TRACE_CAP}"
+                    );
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var("ATR_TELEMETRY_SERIES") {
+            match raw.trim().parse::<u64>() {
+                Ok(iv) => cfg.series_interval = iv,
+                Err(_) => {
+                    crate::warn!("ignoring malformed ATR_TELEMETRY_SERIES={raw:?}; series off");
+                }
+            }
+        }
+        cfg
+    }
+
+    /// True at `Stats` or `Trace`.
+    #[must_use]
+    pub fn stats_enabled(&self) -> bool {
+        self.level >= TelemetryLevel::Stats
+    }
+
+    /// True only at `Trace`.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.level >= TelemetryLevel::Trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(TelemetryLevel::parse("off"), Some(TelemetryLevel::Off));
+        assert_eq!(TelemetryLevel::parse("0"), Some(TelemetryLevel::Off));
+        assert_eq!(TelemetryLevel::parse(" STATS "), Some(TelemetryLevel::Stats));
+        assert_eq!(TelemetryLevel::parse("on"), Some(TelemetryLevel::Stats));
+        assert_eq!(TelemetryLevel::parse("trace"), Some(TelemetryLevel::Trace));
+        assert_eq!(TelemetryLevel::parse("2"), Some(TelemetryLevel::Trace));
+        assert_eq!(TelemetryLevel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered_and_gates_follow() {
+        assert!(TelemetryLevel::Off < TelemetryLevel::Stats);
+        assert!(TelemetryLevel::Stats < TelemetryLevel::Trace);
+        let off = TelemetryConfig::default();
+        assert!(!off.stats_enabled() && !off.trace_enabled());
+        let stats = TelemetryConfig { level: TelemetryLevel::Stats, ..off };
+        assert!(stats.stats_enabled() && !stats.trace_enabled());
+        let trace = TelemetryConfig { level: TelemetryLevel::Trace, ..off };
+        assert!(trace.stats_enabled() && trace.trace_enabled());
+    }
+}

@@ -1,0 +1,243 @@
+//! Opt-in per-uop pipeline trace with a Konata-compatible dump.
+//!
+//! When `ATR_TELEMETRY=trace`, the pipeline pushes one [`TraceEvent`]
+//! per stage transition (fetch, rename, issue, execute, precommit,
+//! commit/flush, register release) into a bounded ring buffer. The
+//! buffer holds the most recent events only — old entries fall off the
+//! front — so the trace is cheap enough to leave on around an audit
+//! failure and then dump the final window for visualization.
+//!
+//! [`PipeTrace::dump_konata`] renders the window in the `Kanata 0004`
+//! text format understood by the Konata pipeline viewer: `I`/`L` lines
+//! introduce a uop, `S` lines start stages, `R` lines retire or flush
+//! it, and `C` lines advance the clock.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A pipeline stage transition, in program-flow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceStage {
+    /// Entered the fetch queue.
+    Fetch,
+    /// Renamed and inserted into the ROB.
+    Rename,
+    /// Woke up and issued to a functional unit / memory.
+    Issue,
+    /// Execution completed (writeback).
+    Exec,
+    /// Passed the precommit stage (ATR atomic-region boundary).
+    Precommit,
+    /// Retired architecturally.
+    Commit,
+    /// Squashed on a flush (terminal, like `Commit`).
+    Flush,
+    /// A physical register previously mapped by this uop was released.
+    Release,
+}
+
+impl TraceStage {
+    /// Short mnemonic shown inside Konata lanes.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            TraceStage::Fetch => "F",
+            TraceStage::Rename => "Rn",
+            TraceStage::Issue => "Is",
+            TraceStage::Exec => "Ex",
+            TraceStage::Precommit => "Pc",
+            TraceStage::Commit => "Cm",
+            TraceStage::Flush => "Fl",
+            TraceStage::Release => "Rl",
+        }
+    }
+}
+
+/// One stage transition of one uop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotonic uop sequence number (fetch order).
+    pub uop: u64,
+    /// Cycle the transition happened.
+    pub cycle: u64,
+    /// Which transition.
+    pub stage: TraceStage,
+    /// Short annotation (opcode text on `Fetch`, cause on `Flush`).
+    pub label: String,
+}
+
+/// Bounded ring buffer of recent [`TraceEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct PipeTrace {
+    events: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl PipeTrace {
+    /// A trace retaining at most `cap` events (0 disables recording).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        PipeTrace { events: VecDeque::new(), cap, dropped: 0 }
+    }
+
+    /// True when recording is disabled (`cap == 0`).
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.cap == 0
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the front so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records one transition, evicting the oldest event when full.
+    pub fn push(&mut self, uop: u64, cycle: u64, stage: TraceStage, label: impl Into<String>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent { uop, cycle, stage, label: label.into() });
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Renders the buffered window as `Kanata 0004` text.
+    ///
+    /// Uops whose `Fetch` event fell off the ring are still emitted
+    /// (introduced at their earliest surviving event) so partial
+    /// windows stay loadable. Uops with no terminal event are closed
+    /// with a flush-kind retire line, which Konata shows as squashed.
+    #[must_use]
+    pub fn dump_konata(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Kanata\t0004\n");
+        if self.events.is_empty() {
+            return out;
+        }
+
+        // Events arrive in push order, which is cycle order per stage
+        // but stages within a cycle can interleave across uops; sort
+        // by (cycle, uop) for a stable replay.
+        let mut evs: Vec<&TraceEvent> = self.events.iter().collect();
+        evs.sort_by_key(|e| (e.cycle, e.uop, e.stage));
+
+        let mut cur_cycle = evs[0].cycle;
+        let _ = writeln!(out, "C=\t{cur_cycle}");
+
+        // Konata wants dense instruction ids starting at 0 in
+        // introduction order; map uop sequence numbers onto them.
+        let mut ids: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut closed: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut retired = 0u64;
+
+        for e in &evs {
+            if e.cycle > cur_cycle {
+                let _ = writeln!(out, "C\t{}", e.cycle - cur_cycle);
+                cur_cycle = e.cycle;
+            }
+            let next_id = ids.len() as u64;
+            let id = *ids.entry(e.uop).or_insert_with(|| {
+                let _ = writeln!(out, "I\t{next_id}\t{}\t0", e.uop);
+                next_id
+            });
+            if e.stage == TraceStage::Fetch || !e.label.is_empty() {
+                let _ = writeln!(out, "L\t{id}\t0\t{}", e.label);
+            }
+            match e.stage {
+                TraceStage::Commit => {
+                    let _ = writeln!(out, "S\t{id}\t0\t{}", e.stage.mnemonic());
+                    let _ = writeln!(out, "R\t{id}\t{retired}\t0");
+                    retired += 1;
+                    closed.insert(id);
+                }
+                TraceStage::Flush => {
+                    let _ = writeln!(out, "R\t{id}\t0\t1");
+                    closed.insert(id);
+                }
+                _ => {
+                    let _ = writeln!(out, "S\t{id}\t0\t{}", e.stage.mnemonic());
+                }
+            }
+        }
+
+        // Close every uop still in flight so viewers don't hang on
+        // unterminated lanes.
+        let mut open: Vec<u64> = ids.values().copied().filter(|id| !closed.contains(id)).collect();
+        open.sort_unstable();
+        for id in open {
+            let _ = writeln!(out, "R\t{id}\t0\t1");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = PipeTrace::new(3);
+        for i in 0..5u64 {
+            t.push(i, i, TraceStage::Fetch, format!("op{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let uops: Vec<u64> = t.events().map(|e| e.uop).collect();
+        assert_eq!(uops, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_cap_records_nothing() {
+        let mut t = PipeTrace::new(0);
+        assert!(t.is_disabled());
+        t.push(1, 1, TraceStage::Fetch, "x");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn konata_dump_has_header_clock_and_terminators() {
+        let mut t = PipeTrace::new(64);
+        t.push(0, 10, TraceStage::Fetch, "addi");
+        t.push(0, 11, TraceStage::Rename, "");
+        t.push(1, 11, TraceStage::Fetch, "ld");
+        t.push(0, 12, TraceStage::Issue, "");
+        t.push(0, 14, TraceStage::Commit, "");
+        // uop 1 never terminates -> must be closed as a flush.
+        let dump = t.dump_konata();
+        assert!(dump.starts_with("Kanata\t0004\n"));
+        assert!(dump.contains("C=\t10"));
+        assert!(dump.contains("C\t1"));
+        assert!(dump.contains("I\t0\t0\t0"));
+        assert!(dump.contains("L\t0\t0\taddi"));
+        assert!(dump.contains("S\t0\t0\tIs"));
+        assert!(dump.contains("R\t0\t0\t0"), "uop 0 retires: {dump}");
+        assert!(dump.contains("R\t1\t0\t1"), "uop 1 closed as flush: {dump}");
+    }
+
+    #[test]
+    fn empty_dump_is_just_header() {
+        assert_eq!(PipeTrace::new(8).dump_konata(), "Kanata\t0004\n");
+    }
+}

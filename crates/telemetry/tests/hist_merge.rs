@@ -1,0 +1,110 @@
+//! Property test: merging per-SimPoint histograms is exactly
+//! equivalent to histogramming the concatenated sample streams.
+//!
+//! Hand-rolled on atr-rng (no proptest in-tree): many random trials,
+//! each drawing a random number of sample streams from a skewed value
+//! distribution (zeros, small values, and saturating huge values are
+//! all common), then comparing merge-of-parts against one histogram of
+//! the whole — count, sum, min/max, and every bucket.
+
+use atr_rng::{RngExt, SeedableRng, SmallRng};
+use atr_telemetry::{bucket_of, Log2Hist, NUM_HIST_BUCKETS};
+
+/// Draws a value that exercises every interesting bucket class.
+fn skewed_value(rng: &mut SmallRng) -> u64 {
+    match rng.random_range(0u32..100) {
+        0..=19 => 0,                                  // bucket 0
+        20..=59 => rng.random_range(1u64..256),       // low buckets
+        60..=89 => rng.random_range(256u64..1 << 20), // mid buckets
+        90..=97 => rng.random_range(1u64 << 40..1 << 60),
+        _ => rng.random_range((1u64 << 63)..=u64::MAX), // saturating bucket 64
+    }
+}
+
+#[test]
+fn merge_equals_histogram_of_concatenation() {
+    let mut rng = SmallRng::seed_from_u64(0xA7B1_7E1E);
+    for trial in 0..200 {
+        let parts = rng.random_range(1usize..8);
+        let mut merged = Log2Hist::new();
+        let mut whole = Log2Hist::new();
+        let mut total_samples = 0u64;
+
+        for _ in 0..parts {
+            // Empty streams must merge as no-ops, so draw 0 often.
+            let n = rng.random_range(0usize..64);
+            let mut part = Log2Hist::new();
+            for _ in 0..n {
+                let v = skewed_value(&mut rng);
+                part.record(v);
+                whole.record(v);
+                total_samples += 1;
+            }
+            merged.merge(&part);
+        }
+
+        assert_eq!(merged.count, total_samples, "trial {trial}: count");
+        assert_eq!(merged.count, whole.count, "trial {trial}: count vs whole");
+        assert_eq!(merged.sum, whole.sum, "trial {trial}: sum");
+        assert_eq!(merged.min, whole.min, "trial {trial}: min");
+        assert_eq!(merged.max, whole.max, "trial {trial}: max");
+        for b in 0..NUM_HIST_BUCKETS {
+            assert_eq!(merged.buckets[b], whole.buckets[b], "trial {trial}: bucket {b}");
+        }
+        assert_eq!(merged, whole, "trial {trial}: full state");
+    }
+}
+
+#[test]
+fn merging_empty_is_identity_both_ways() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut h = Log2Hist::new();
+    for _ in 0..500 {
+        h.record(skewed_value(&mut rng));
+    }
+    let before = h.clone();
+
+    // nonempty ← empty
+    h.merge(&Log2Hist::new());
+    assert_eq!(h, before);
+
+    // empty ← nonempty
+    let mut e = Log2Hist::new();
+    e.merge(&before);
+    assert_eq!(e, before);
+
+    // empty ← empty stays empty (min stays at the sentinel).
+    let mut z = Log2Hist::new();
+    z.merge(&Log2Hist::new());
+    assert!(z.is_empty());
+    assert_eq!(z.min, u64::MAX);
+}
+
+#[test]
+fn saturating_bucket_merges_like_any_other() {
+    let mut a = Log2Hist::new();
+    let mut b = Log2Hist::new();
+    let mut whole = Log2Hist::new();
+    for v in [u64::MAX, 1u64 << 63, (1u64 << 63) + 12345] {
+        a.record(v);
+        whole.record(v);
+    }
+    for v in [u64::MAX - 1, u64::MAX] {
+        b.record(v);
+        whole.record(v);
+    }
+    assert_eq!(bucket_of(u64::MAX), NUM_HIST_BUCKETS - 1);
+    a.merge(&b);
+    assert_eq!(a, whole);
+    assert_eq!(a.buckets[NUM_HIST_BUCKETS - 1], 5);
+    // The exact sum survives even though every sample saturates the
+    // top bucket.
+    assert_eq!(
+        a.sum,
+        u128::from(u64::MAX)
+            + u128::from(1u64 << 63)
+            + u128::from((1u64 << 63) + 12345)
+            + u128::from(u64::MAX - 1)
+            + u128::from(u64::MAX)
+    );
+}

@@ -21,9 +21,33 @@ echo "== all_experiments with rename auditor (tiny budget)"
 # Re-runs the experiment matrix with the cycle-level rename/release
 # auditor attached; any invariant violation panics the run. The results
 # dir is redirected so the tiny-budget pass never clobbers the committed
-# full-budget results/*.json.
+# full-budget results/*.json. Stdout is captured to assert the
+# telemetry-off default emits zero telemetry records.
+audit_out="$(mktemp)"
 ATR_AUDIT=1 ATR_SIM_WARMUP=500 ATR_SIM_INSTS=2000 ATR_SIM_PROGRESS=0 \
     ATR_RESULTS_DIR="$(mktemp -d)" \
-    cargo run --release --offline -p atr-bench --bin all_experiments >/dev/null
+    cargo run --release --offline -p atr-bench --bin all_experiments >"$audit_out"
+if grep -q "atr-run-telemetry" "$audit_out"; then
+    echo "FAIL: telemetry records leaked onto stdout with ATR_TELEMETRY unset" >&2
+    exit 1
+fi
+
+echo "== all_experiments with telemetry + audit (tiny budget), JSONL schema check"
+# With ATR_TELEMETRY=stats the executor emits one JSONL record per
+# simulated point on stdout (all narrative goes to stderr); every line
+# must parse and satisfy the record schema, including the CPI-stack
+# Σ slots == width x cycles invariant (also asserted per-cycle in-core
+# because ATR_AUDIT=1 is set).
+telemetry_out="$(mktemp)"
+ATR_TELEMETRY=stats ATR_AUDIT=1 ATR_SIM_WARMUP=500 ATR_SIM_INSTS=2000 \
+    ATR_SIM_PROGRESS=0 ATR_RESULTS_DIR="$(mktemp -d)" \
+    cargo run --release --offline -p atr-bench --bin all_experiments >"$telemetry_out"
+cargo run --release --offline -p atr-bench --bin jsonl_check "$telemetry_out"
+
+echo "== telemetry off-path overhead guard (<2%)"
+# ATR_TELEMETRY=off must never be slower than stats (within 2% noise):
+# a failure means the disabled path lost its gating. Fixed internal
+# budget, min-of-3 walls per level; see --bin telemetry_overhead.
+cargo run --release --offline -p atr-bench --bin telemetry_overhead
 
 echo "CI OK"

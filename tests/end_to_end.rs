@@ -15,6 +15,7 @@ fn quick(scheme: ReleaseScheme, rf: usize) -> RunSpec {
         measure: 15_000,
         collect_events: false,
         audit: false,
+        telemetry: atr::telemetry::TelemetryConfig::default(),
     }
 }
 
