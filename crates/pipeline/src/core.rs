@@ -15,7 +15,7 @@ use atr_frontend::{Bpu, Prediction};
 use atr_isa::{ArchReg, DynInst, FuKind, InstSeq, OpClass, RegClass};
 use atr_mem::{AccessKind, MemoryHierarchy, ServiceLevel};
 use atr_telemetry::TraceStage;
-use atr_workload::{synthesize_outcome, Oracle, Program};
+use atr_workload::{synthesize_outcome, Oracle, Program, TraceSource};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -66,7 +66,7 @@ struct Fetched {
 pub struct OooCore {
     cfg: CoreConfig,
     cycle: u64,
-    oracle: Oracle,
+    oracle: Box<dyn TraceSource>,
     program: Arc<Program>,
     bpu: Bpu,
     mem: MemoryHierarchy,
@@ -119,8 +119,20 @@ impl OooCore {
     /// Builds a core over `oracle`'s program.
     #[must_use]
     pub fn new(cfg: CoreConfig, oracle: Oracle) -> Self {
+        OooCore::with_source(cfg, Box::new(oracle))
+    }
+
+    /// Builds a core over any [`TraceSource`] — a live [`Oracle`] or a
+    /// captured trace replay. Fetch starts at the source's
+    /// [`start_index`](TraceSource::start_index), so a replay
+    /// fast-forwarded to a checkpoint frame begins detailed simulation
+    /// mid-stream (the warmup fast-forward path).
+    #[must_use]
+    pub fn with_source(cfg: CoreConfig, mut oracle: Box<dyn TraceSource>) -> Self {
         let program = oracle.program().clone();
-        let fetch_pc = program.entry();
+        let start_idx = oracle.start_index();
+        let fetch_pc =
+            if start_idx == 0 { program.entry() } else { oracle.get(start_idx).sinst.pc };
         OooCore {
             bpu: Bpu::new(&cfg.bpu),
             mem: MemoryHierarchy::new(&cfg.mem),
@@ -130,7 +142,7 @@ impl OooCore {
             lsq: Lsq::new(cfg.load_buffer, cfg.store_buffer),
             frontend: VecDeque::new(),
             fetch_pc,
-            next_oracle_idx: 0,
+            next_oracle_idx: start_idx,
             on_wrong_path: false,
             wrong_path_dead: false,
             wp_salt: program.seed(),

@@ -61,19 +61,57 @@ pub fn telemetry_from_env() -> atr_telemetry::TelemetryConfig {
     atr_telemetry::TelemetryConfig::from_env()
 }
 
+/// Reads the trace-cache location from `ATR_TRACE_CACHE`: unset, empty,
+/// or `0` disables trace capture/replay (every point runs a live
+/// Oracle); `1` selects the default `trace-cache/` directory under the
+/// results dir (itself `ATR_RESULTS_DIR`-relocatable); any other value
+/// is an explicit cache directory.
+#[must_use]
+pub fn trace_cache_from_env() -> Option<std::path::PathBuf> {
+    let raw = std::env::var("ATR_TRACE_CACHE").ok()?;
+    let raw = raw.trim();
+    match raw {
+        "" | "0" => None,
+        "1" => Some(crate::report::results_dir().join("trace-cache")),
+        dir => Some(std::path::PathBuf::from(dir)),
+    }
+}
+
+/// Reads the `ATR_TRACE_FF` switch: any value other than unset, empty,
+/// or `0` makes trace replay fast-forward to the checkpoint frame at or
+/// below the warmup target instead of streaming the whole warmup
+/// through the pipeline. Off by default because skipping detailed
+/// warmup perturbs timing (structures start cold at the checkpoint) —
+/// results stay architecturally identical but are no longer
+/// cycle-comparable with live runs.
+#[must_use]
+pub fn trace_ff_from_env() -> bool {
+    std::env::var("ATR_TRACE_FF").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
+
 fn env_u64(var: &str, default: u64) -> u64 {
-    match std::env::var(var) {
-        Ok(raw) => match raw.trim().parse() {
-            Ok(v) => v,
-            Err(_) => {
-                atr_telemetry::warn!(
-                    "ignoring malformed {var}={raw:?} (expected an \
-                     unsigned instruction count); using default {default}"
-                );
-                default
-            }
-        },
-        Err(_) => default,
+    let Ok(raw) = std::env::var(var) else {
+        return default;
+    };
+    let trimmed = raw.trim();
+    match trimmed.parse::<u64>() {
+        Ok(v) => v,
+        Err(_) => {
+            // `ParseIntError::kind` is unstable, so classify by shape:
+            // a leading sign is a rejected negative, all-digits that
+            // still fail is a u64 overflow, anything else is malformed.
+            let why = if trimmed.starts_with('-') {
+                "negative values are rejected"
+            } else if !trimmed.is_empty() && trimmed.chars().all(|c| c.is_ascii_digit()) {
+                "value overflows u64"
+            } else {
+                "expected an unsigned instruction count"
+            };
+            atr_telemetry::warn!(
+                "ignoring malformed {var}={raw:?} ({why}); using default {default}"
+            );
+            default
+        }
     }
 }
 
@@ -167,11 +205,41 @@ mod tests {
 
         std::env::set_var("ATR_SIM_WARMUP", "not-a-number");
         std::env::set_var("ATR_SIM_INSTS", "-5");
-        // Malformed values warn on stderr and fall back to the defaults.
+        // Malformed and negative values warn on stderr and fall back.
         assert_eq!(budget_from_env(), (40_000, 160_000));
+
+        // A value past u64::MAX is an overflow, not a silent wrap.
+        std::env::set_var("ATR_SIM_WARMUP", "99999999999999999999999999");
+        std::env::set_var("ATR_SIM_INSTS", "+12");
+        assert_eq!(budget_from_env(), (40_000, 12), "leading + is valid u64 syntax");
 
         std::env::remove_var("ATR_SIM_WARMUP");
         std::env::remove_var("ATR_SIM_INSTS");
         assert_eq!(budget_from_env(), (40_000, 160_000));
+    }
+
+    #[test]
+    fn trace_env_knobs_parse() {
+        // All ATR_TRACE_* manipulation lives in this one test (parallel
+        // tests must not observe transient values).
+        std::env::remove_var("ATR_TRACE_CACHE");
+        std::env::remove_var("ATR_TRACE_FF");
+        assert_eq!(trace_cache_from_env(), None);
+        assert!(!trace_ff_from_env());
+
+        std::env::set_var("ATR_TRACE_CACHE", "0");
+        assert_eq!(trace_cache_from_env(), None);
+        std::env::set_var("ATR_TRACE_CACHE", "1");
+        let default_dir = trace_cache_from_env().expect("1 selects the default dir");
+        assert!(default_dir.ends_with("trace-cache"));
+        std::env::set_var("ATR_TRACE_CACHE", "/tmp/custom-traces");
+        assert_eq!(trace_cache_from_env(), Some(std::path::PathBuf::from("/tmp/custom-traces")));
+        std::env::remove_var("ATR_TRACE_CACHE");
+
+        std::env::set_var("ATR_TRACE_FF", "1");
+        assert!(trace_ff_from_env());
+        std::env::set_var("ATR_TRACE_FF", "0");
+        assert!(!trace_ff_from_env());
+        std::env::remove_var("ATR_TRACE_FF");
     }
 }

@@ -11,16 +11,37 @@
 //! * `ATR_SIM_PROGRESS=0` — silence the per-point progress lines.
 //! * `ATR_TELEMETRY=stats|trace` — emit one JSONL telemetry record per
 //!   point (see [`crate::telemetry`]), to stdout or `ATR_TELEMETRY_OUT`.
+//! * `ATR_TRACE_CACHE=1|<dir>` — capture each distinct program's
+//!   functional stream once into an on-disk `atr-trace` cache and
+//!   replay it for every point sharing that program (bit-identical to
+//!   live generation; see [`crate::config::trace_cache_from_env`]).
+//! * `ATR_TRACE_FF=1` — additionally fast-forward each replay to the
+//!   checkpoint frame at or below the point's warmup target.
 
 use crate::matrix::SimPoint;
-use crate::runner::{run, RunResult, RunSpec};
+use crate::runner::{run_with_source, RunResult, RunSpec};
 use atr_pipeline::CoreConfig;
+use atr_trace::{TraceCache, TraceReplay};
 use atr_workload::spec::all_profiles;
-use atr_workload::Program;
+use atr_workload::{Oracle, Program, TraceSource};
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Checkpoint frames are laid down every this many records in cached
+/// captures (see `atr_trace::writer::DEFAULT_CHECKPOINT_INTERVAL`).
+const CHECKPOINT_INTERVAL: u64 = atr_trace::writer::DEFAULT_CHECKPOINT_INTERVAL;
+
+/// Extra records captured beyond the largest `warmup + measure` of the
+/// points sharing a program: fetch runs ahead of retirement by up to
+/// the in-flight window (ROB plus frontend buffering), so the trace
+/// must extend past the last *retired* index or replay would exhaust
+/// it mid-run.
+fn capture_slack(core: &CoreConfig) -> u64 {
+    2 * core.rob_size as u64 + 8192
+}
 
 /// The worker count: `ATR_SIM_THREADS` if set and valid, otherwise the
 /// machine's available parallelism.
@@ -53,9 +74,40 @@ pub fn execute(core: &CoreConfig, points: &[SimPoint]) -> Vec<RunResult> {
 }
 
 /// [`execute`] with an explicit worker count (1 = serial). Exposed so
-/// the determinism tests can compare serial and parallel passes.
+/// the determinism tests can compare serial and parallel passes. The
+/// trace cache (and fast-forward switch) come from the environment;
+/// [`execute_with_cache`] takes them explicitly.
 #[must_use]
 pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> Vec<RunResult> {
+    let cache_dir = crate::config::trace_cache_from_env();
+    execute_with_cache(
+        core,
+        points,
+        threads,
+        cache_dir.as_deref(),
+        crate::config::trace_ff_from_env(),
+    )
+}
+
+/// [`execute_with`] with an explicit trace-cache directory and
+/// fast-forward switch — the environment is not consulted, so tests
+/// exercising the cache cannot race parallel tests on env state.
+///
+/// When `cache_dir` is set, each distinct program among `points` is
+/// captured once (sized to the largest `warmup + measure` of its points
+/// plus in-flight slack) before the workers spawn, and every point
+/// replays the capture instead of re-generating the stream. Replay is
+/// bit-identical to live generation; any cache problem (unwritable
+/// directory, corrupt file) degrades that program to live generation
+/// with a warning rather than failing the pass.
+#[must_use]
+pub fn execute_with_cache(
+    core: &CoreConfig,
+    points: &[SimPoint],
+    threads: usize,
+    cache_dir: Option<&Path>,
+    fast_forward: bool,
+) -> Vec<RunResult> {
     if points.is_empty() {
         return Vec::new();
     }
@@ -72,6 +124,7 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
             programs.insert(point.profile, profile.build());
         }
     }
+    let traces = prepare_traces(core, points, &programs, cache_dir);
     let workers = threads.clamp(1, points.len());
     let progress = progress_enabled();
     let telemetry = crate::config::telemetry_from_env();
@@ -88,6 +141,7 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
             let next = &next;
             let done = &done;
             let programs = &programs;
+            let traces = &traces;
             handles.push(scope.spawn(move || {
                 let mut produced: Vec<(usize, RunResult, Duration)> = Vec::new();
                 loop {
@@ -97,7 +151,13 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
                     }
                     let point = &points[idx];
                     let started = Instant::now();
-                    let result = run_point(core, programs[point.profile].clone(), point);
+                    let result = run_point(
+                        core,
+                        programs[point.profile].clone(),
+                        point,
+                        traces.get(point.profile).map(PathBuf::as_path),
+                        fast_forward,
+                    );
                     let wall = started.elapsed();
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if progress {
@@ -140,7 +200,68 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
     results.into_iter().map(|(r, _)| r).collect()
 }
 
-fn run_point(core: &CoreConfig, program: Arc<Program>, point: &SimPoint) -> RunResult {
+/// Captures (or finds cached) one trace per distinct program among
+/// `points`, sized for the largest budget any of its points needs.
+/// Returns the per-profile trace paths; an empty map means every point
+/// runs a live oracle.
+fn prepare_traces(
+    core: &CoreConfig,
+    points: &[SimPoint],
+    programs: &HashMap<&'static str, Arc<Program>>,
+    cache_dir: Option<&Path>,
+) -> HashMap<&'static str, PathBuf> {
+    let mut traces = HashMap::new();
+    let Some(dir) = cache_dir else {
+        return traces;
+    };
+    let cache = match TraceCache::new(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            atr_telemetry::warn!(
+                "trace cache at {} is unusable ({e}); running every point live",
+                dir.display()
+            );
+            return traces;
+        }
+    };
+    let slack = capture_slack(core);
+    for (&name, program) in programs {
+        let needed = points
+            .iter()
+            .filter(|p| p.profile == name)
+            .map(|p| p.warmup + p.measure)
+            .max()
+            .expect("every prebuilt program has a point")
+            + slack;
+        let t0 = Instant::now();
+        match cache.ensure(program, name, CHECKPOINT_INTERVAL, needed) {
+            Ok((path, hit)) => {
+                if progress_enabled() {
+                    atr_telemetry::info!(
+                        "[trace {}] {name}: {} records in {:.0?} ({})",
+                        if hit { "hit" } else { "capture" },
+                        needed,
+                        t0.elapsed(),
+                        path.display()
+                    );
+                }
+                traces.insert(name, path);
+            }
+            Err(e) => {
+                atr_telemetry::warn!("trace capture failed for {name} ({e}); running it live");
+            }
+        }
+    }
+    traces
+}
+
+fn run_point(
+    core: &CoreConfig,
+    program: Arc<Program>,
+    point: &SimPoint,
+    trace: Option<&Path>,
+    fast_forward: bool,
+) -> RunResult {
     let mut cfg = core.clone();
     point.tweak.apply(&mut cfg);
     let spec = RunSpec {
@@ -152,7 +273,47 @@ fn run_point(core: &CoreConfig, program: Arc<Program>, point: &SimPoint) -> RunR
         audit: crate::config::audit_from_env(),
         telemetry: crate::config::telemetry_from_env(),
     };
-    run(&cfg, program, &spec)
+    let source: Box<dyn TraceSource> = match trace
+        .and_then(|path| open_replay(path, &program, spec.warmup, fast_forward, point))
+    {
+        Some(replay) => Box::new(replay),
+        None => Box::new(Oracle::new(program)),
+    };
+    run_with_source(&cfg, source, &spec)
+}
+
+/// Opens `path` for replay, optionally fast-forwarded to the warmup
+/// target. Any failure degrades gracefully: a failed fast-forward may
+/// leave the reader mid-stream, so the file is reopened for a full
+/// replay; an unopenable file yields `None` (the point runs live).
+fn open_replay(
+    path: &Path,
+    program: &Arc<Program>,
+    warmup: u64,
+    fast_forward: bool,
+    point: &SimPoint,
+) -> Option<TraceReplay> {
+    let open = || match TraceReplay::open(path, program.clone()) {
+        Ok(replay) => Some(replay),
+        Err(e) => {
+            atr_telemetry::warn!(
+                "trace replay unavailable for {} ({e}); running it live",
+                point.label()
+            );
+            None
+        }
+    };
+    let mut replay = open()?;
+    if fast_forward && warmup > 0 {
+        if let Err(e) = replay.fast_forward_to(warmup) {
+            atr_telemetry::warn!(
+                "fast-forward to {warmup} failed for {} ({e}); replaying from 0",
+                point.label()
+            );
+            replay = open()?;
+        }
+    }
+    Some(replay)
 }
 
 #[cfg(test)]
@@ -176,6 +337,48 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    /// A cached pass — capture on the first point, replay everywhere —
+    /// must be bit-identical to the live pass, with and without warmup
+    /// fast-forward on the architectural stream (fast-forward may and
+    /// does change timing, so only the no-FF pass is compared on IPC).
+    #[test]
+    fn trace_cached_pass_matches_live_pass() {
+        let dir =
+            std::env::temp_dir().join(format!("atr_executor_trace_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = vec![
+            SimPoint::new("505.mcf_r", ReleaseScheme::Baseline, 64, 600, 1_500),
+            SimPoint::new("505.mcf_r", ReleaseScheme::Atr { redefine_delay: 0 }, 64, 600, 1_500),
+            SimPoint::new("505.mcf_r", ReleaseScheme::Baseline, 224, 300, 1_000),
+        ];
+        let core = CoreConfig::default();
+        let live = execute_with_cache(&core, &points, 1, None, false);
+        let cached = execute_with_cache(&core, &points, 2, Some(&dir), false);
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "three points over one program capture exactly one trace"
+        );
+        for (i, (a, b)) in live.iter().zip(&cached).enumerate() {
+            assert_eq!(a.ipc.to_bits(), b.ipc.to_bits(), "point {i} IPC diverged under replay");
+            assert_eq!(a.stats.cycles, b.stats.cycles, "point {i} cycles diverged under replay");
+            assert_eq!(a.stats.retired, b.stats.retired);
+            assert_eq!(a.stats.flushes, b.stats.flushes);
+        }
+
+        // Fast-forward skips detailed warmup: retired count per window
+        // still matches, and the measured stream is the same
+        // architectural instructions (cycles legitimately differ).
+        let ff = execute_with_cache(&core, &points, 1, Some(&dir), true);
+        for (i, (a, b)) in live.iter().zip(&ff).enumerate() {
+            let lived = a.stats.retired;
+            let ffd = b.stats.retired;
+            assert!(ffd <= lived, "point {i}: FF run retired more ({ffd}) than live ({lived})");
+            assert!(b.ipc > 0.0, "point {i}: FF run produced no progress");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Event collection is observation-only: the lifetime log records

@@ -4,7 +4,7 @@ use atr_core::{RegLifetime, ReleaseKind, ReleaseScheme};
 use atr_pipeline::telemetry::hist_names;
 use atr_pipeline::{CoreConfig, CoreStats, OooCore};
 use atr_telemetry::{Log2Hist, RunTelemetry, TelemetryConfig};
-use atr_workload::{Oracle, Program, SpecProfile};
+use atr_workload::{Oracle, Program, SpecProfile, TraceSource};
 use std::sync::Arc;
 
 /// One run's parameters.
@@ -68,9 +68,25 @@ pub struct RunResult {
 }
 
 /// Runs `program` under `spec` on top of `base` (everything except
-/// scheme/RF size/event collection is taken from `base`).
+/// scheme/RF size/event collection is taken from `base`), generating
+/// the stream with a live [`Oracle`].
 #[must_use]
 pub fn run(base: &CoreConfig, program: Arc<Program>, spec: &RunSpec) -> RunResult {
+    run_with_source(base, Box::new(Oracle::new(program)), spec)
+}
+
+/// [`run`] over an arbitrary stream source — a live [`Oracle`] or an
+/// `atr-trace` replay. A source that starts mid-stream (a
+/// fast-forwarded replay) has its start index credited against the
+/// warmup budget: the pipeline only streams the residual
+/// `warmup - start_index()` instructions before the measured window, so
+/// the window covers the same architectural instructions either way.
+#[must_use]
+pub fn run_with_source(
+    base: &CoreConfig,
+    source: Box<dyn TraceSource>,
+    spec: &RunSpec,
+) -> RunResult {
     let mut cfg = base.clone().with_rf_size(spec.rf_size).with_scheme(spec.scheme);
     // Stats-level telemetry derives the lifetime/claim histograms from
     // the lifetime log, so it forces collection on. Collection is
@@ -80,8 +96,9 @@ pub fn run(base: &CoreConfig, program: Arc<Program>, spec: &RunSpec) -> RunResul
     cfg.rename.collect_events = spec.collect_events || spec.telemetry.stats_enabled();
     cfg.rename.audit = spec.audit;
     cfg.telemetry = spec.telemetry;
-    let mut core = OooCore::new(cfg, Oracle::new(program));
-    let s0 = if spec.warmup > 0 { core.run(spec.warmup) } else { core.snapshot_stats() };
+    let residual_warmup = spec.warmup.saturating_sub(source.start_index());
+    let mut core = OooCore::with_source(cfg, source);
+    let s0 = if residual_warmup > 0 { core.run(residual_warmup) } else { core.snapshot_stats() };
     let s1 = core.run(spec.measure);
     let cycles = (s1.cycles - s0.cycles).max(1);
     let ipc = (s1.retired - s0.retired) as f64 / cycles as f64;

@@ -1,0 +1,133 @@
+//! On-disk cache of captured traces, keyed by program identity.
+//!
+//! The run matrix deduplicates `(profile, seed)` programs and then
+//! simulates each one under every scheme × tweak point; the cache lets
+//! the executor capture each program's functional stream once and
+//! replay it for every point. Keys combine the program digest with the
+//! checkpoint interval, so a format-parameter change can never alias a
+//! stale file. Writes go to a temp file and `rename` into place, so a
+//! concurrent or crashed capture never publishes a partial trace.
+
+use crate::format::program_digest;
+use crate::reader::TraceReader;
+use crate::writer::capture;
+use crate::TraceError;
+use atr_workload::behavior::mix64;
+use atr_workload::Program;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A directory of `*.atrt` files addressed by program identity.
+#[derive(Debug, Clone)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// Opens (creating if needed) the cache at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory.
+    pub fn new(dir: &Path) -> Result<Self, TraceError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(TraceCache { dir: dir.to_owned() })
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The canonical file path for a capture of `program` at
+    /// `interval`. The name prefix is cosmetic (sanitized profile
+    /// name); the hex key is what addresses the entry.
+    #[must_use]
+    pub fn path_for(&self, program: &Program, name: &str, interval: u64) -> PathBuf {
+        let key = mix64(program_digest(program) ^ mix64(interval));
+        self.dir.join(format!("{}-{key:016x}.atrt", sanitize(name)))
+    }
+
+    /// Returns the cached trace for `program` if present, finalized,
+    /// program-matched, and holding at least `needed` records. Any
+    /// unusable file — crashed capture, foreign program, too short —
+    /// reads as a miss (and will be overwritten by
+    /// [`TraceCache::ensure`]).
+    #[must_use]
+    pub fn lookup(
+        &self,
+        program: &Program,
+        name: &str,
+        interval: u64,
+        needed: u64,
+    ) -> Option<PathBuf> {
+        let path = self.path_for(program, name, interval);
+        let reader = TraceReader::open_validated(&path, program).ok()?;
+        if reader.header().record_count < needed {
+            return None;
+        }
+        if reader.header().checkpoint_interval != interval {
+            return None;
+        }
+        Some(path)
+    }
+
+    /// Returns a trace of `program` with at least `needed` records,
+    /// capturing it if absent (or present but unusable). The boolean is
+    /// `true` on a cache hit. Capture writes a pid-suffixed temp file
+    /// and renames it into place, so concurrent processes racing on the
+    /// same entry each publish a complete file and the last rename
+    /// wins.
+    ///
+    /// # Errors
+    ///
+    /// Capture or I/O errors; never fails on an unusable existing file.
+    pub fn ensure(
+        &self,
+        program: &Arc<Program>,
+        name: &str,
+        interval: u64,
+        needed: u64,
+    ) -> Result<(PathBuf, bool), TraceError> {
+        if let Some(path) = self.lookup(program, name, interval, needed) {
+            return Ok((path, true));
+        }
+        let path = self.path_for(program, name, interval);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let result = capture(program, name, needed, interval, &tmp);
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result?;
+        std::fs::rename(&tmp, &path)?;
+        Ok((path, false))
+    }
+}
+
+/// Keeps `[A-Za-z0-9._-]`, maps the rest to `_`, and bounds the length
+/// — profile names become readable, filesystem-safe prefixes.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || ".-_".contains(c) { c } else { '_' })
+        .collect();
+    out.truncate(48);
+    if out.is_empty() {
+        out.push('t');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_keeps_safe_chars_and_bounds_length() {
+        assert_eq!(sanitize("505.mcf_r"), "505.mcf_r");
+        assert_eq!(sanitize("a b/c"), "a_b_c");
+        assert_eq!(sanitize(""), "t");
+        assert_eq!(sanitize(&"x".repeat(100)).len(), 48);
+    }
+}

@@ -1,0 +1,570 @@
+//! The `ATRT1` on-disk layout: header, checkpoint frames, record
+//! blocks, trailer, and the digest chain that seals them.
+//!
+//! ```text
+//! file    := header segment* trailer
+//! segment := frame block
+//! header  := "ATRT" version:u8 record_count:u64le
+//!            seed entry text_len program_digest:u64le
+//!            checkpoint_interval name_len name
+//! frame   := 0x02 index next_pc call_depth
+//!            rat_digest:u64le branch_digest:u64le mem_digest:u64le
+//! block   := 0x01 n_records payload_len payload
+//! trailer := 0xfe total_records stream_digest:u64le
+//! ```
+//!
+//! Unadorned integers are LEB128 varints ([`crate::varint`]). Delta
+//! state resets at every frame, so a block decodes independently given
+//! its frame — which is what lets [`crate::TraceReplay`] skip whole
+//! segments during fast-forward without decoding a single record.
+//!
+//! `record_count` is written as zero when the file is created and
+//! patched at finalize, so a crashed capture is detected as incomplete
+//! rather than silently replayed short.
+
+use crate::varint::{read_fixed_u64, read_i64, read_u64, write_fixed_u64, write_i64, write_u64};
+use crate::TraceError;
+use atr_isa::{DynInst, Exception, OpClass, NUM_ARCH_REGS};
+use atr_workload::behavior::mix64;
+use atr_workload::Program;
+use std::io::Read;
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"ATRT";
+/// Format version this crate reads and writes.
+pub const VERSION: u8 = 1;
+/// Byte offset of the fixed-width `record_count` header field (after
+/// magic + version), patched in place at finalize.
+pub const RECORD_COUNT_OFFSET: u64 = 5;
+
+/// Tag byte opening a record block.
+pub const TAG_BLOCK: u8 = 0x01;
+/// Tag byte opening a checkpoint frame.
+pub const TAG_FRAME: u8 = 0x02;
+/// Tag byte opening the trailer.
+pub const TAG_TRAILER: u8 = 0xfe;
+
+/// Record flag: control flow was taken.
+const F_TAKEN: u8 = 1 << 0;
+/// Record flag: a memory address follows.
+const F_MEM: u8 = 1 << 1;
+/// Record flag: the record carries an injected exception.
+const F_EXC: u8 = 1 << 2;
+/// Record flag: exception kind (0 = page fault, 1 = divide by zero).
+const F_EXC_KIND: u8 = 1 << 3;
+/// Record flag: `pc` equals the previous record's `next_pc` (implicit).
+const F_PC_IMPLICIT: u8 = 1 << 4;
+/// Record flag: `next_pc` is the static fallthrough (implicit).
+const F_NEXT_SEQ: u8 = 1 << 5;
+/// Mask of flag bits a v1 reader understands; anything else is corrupt.
+const F_KNOWN: u8 = F_TAKEN | F_MEM | F_EXC | F_EXC_KIND | F_PC_IMPLICIT | F_NEXT_SEQ;
+
+/// One architectural stream record: exactly the dynamic facts the
+/// pipeline needs beyond the static program — everything else in a
+/// [`DynInst`] is reconstructed from the program text at replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Instruction PC.
+    pub pc: u64,
+    /// Architectural successor PC.
+    pub next_pc: u64,
+    /// Taken direction for control flow (`false` otherwise).
+    pub taken: bool,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Micro-op class (stored for program-mismatch detection).
+    pub class: OpClass,
+    /// Injected precise exception, if any.
+    pub exception: Option<Exception>,
+}
+
+impl TraceRecord {
+    /// Extracts the trace-relevant facts of a dynamic instruction.
+    #[must_use]
+    pub fn from_dyn(d: &DynInst) -> Self {
+        TraceRecord {
+            pc: d.sinst.pc,
+            next_pc: d.outcome.next_pc,
+            taken: d.outcome.taken,
+            mem_addr: d.outcome.mem_addr,
+            class: d.sinst.class,
+            exception: d.outcome.exception,
+        }
+    }
+}
+
+/// The file header: program identity plus layout parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Total records in the file; `0` until the writer finalizes, so an
+    /// interrupted capture reads as incomplete.
+    pub record_count: u64,
+    /// Seed of the captured program.
+    pub seed: u64,
+    /// Entry PC of the captured program.
+    pub entry: u64,
+    /// Static instruction count of the captured program.
+    pub text_len: u64,
+    /// Digest of the program text ([`program_digest`]).
+    pub program_digest: u64,
+    /// Records per segment (one checkpoint frame each).
+    pub checkpoint_interval: u64,
+    /// Human-readable program/profile name.
+    pub name: String,
+}
+
+impl TraceHeader {
+    /// Builds the header a capture of `program` would carry.
+    #[must_use]
+    pub fn for_program(program: &Program, name: &str, checkpoint_interval: u64) -> Self {
+        TraceHeader {
+            record_count: 0,
+            seed: program.seed(),
+            entry: program.entry(),
+            text_len: program.len() as u64,
+            program_digest: program_digest(program),
+            checkpoint_interval,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Checks that `program` is the one this trace was captured from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ProgramMismatch`] naming the first
+    /// differing identity field.
+    pub fn check_program(&self, program: &Program) -> Result<(), TraceError> {
+        let fields = [
+            ("seed", self.seed, program.seed()),
+            ("entry", self.entry, program.entry()),
+            ("text_len", self.text_len, program.len() as u64),
+            ("program_digest", self.program_digest, program_digest(program)),
+        ];
+        for (what, have, want) in fields {
+            if have != want {
+                return Err(TraceError::ProgramMismatch(format!(
+                    "{what}: trace has {have:#x}, program has {want:#x}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the header. The `record_count` field is written at
+    /// the fixed [`RECORD_COUNT_OFFSET`] so it can be patched later.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.extend_from_slice(&self.record_count.to_le_bytes());
+        write_u64(out, self.seed);
+        write_u64(out, self.entry);
+        write_u64(out, self.text_len);
+        out.extend_from_slice(&self.program_digest.to_le_bytes());
+        write_u64(out, self.checkpoint_interval);
+        write_u64(out, self.name.len() as u64);
+        out.extend_from_slice(self.name.as_bytes());
+    }
+
+    /// Deserializes a header from the start of a trace stream.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`] / [`TraceError::BadVersion`] for alien
+    /// files, [`TraceError::Truncated`] / [`TraceError::Corrupt`] for
+    /// damaged ones.
+    pub fn decode(r: &mut impl Read) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(|_| TraceError::Truncated("magic"))?;
+        if magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut version = [0u8; 1];
+        r.read_exact(&mut version).map_err(|_| TraceError::Truncated("version"))?;
+        if version[0] != VERSION {
+            return Err(TraceError::BadVersion(version[0]));
+        }
+        let record_count = read_fixed_u64(r)?;
+        let seed = read_u64(r)?;
+        let entry = read_u64(r)?;
+        let text_len = read_u64(r)?;
+        let program_digest = read_fixed_u64(r)?;
+        let checkpoint_interval = read_u64(r)?;
+        if checkpoint_interval == 0 {
+            return Err(TraceError::Corrupt("checkpoint interval of zero".into()));
+        }
+        let name_len = read_u64(r)?;
+        if name_len > 4096 {
+            return Err(TraceError::Corrupt(format!("implausible name length {name_len}")));
+        }
+        let mut name = vec![0u8; name_len as usize];
+        r.read_exact(&mut name).map_err(|_| TraceError::Truncated("name"))?;
+        let name =
+            String::from_utf8(name).map_err(|_| TraceError::Corrupt("name is not UTF-8".into()))?;
+        Ok(TraceHeader {
+            record_count,
+            seed,
+            entry,
+            text_len,
+            program_digest,
+            checkpoint_interval,
+            name,
+        })
+    }
+}
+
+/// An architectural checkpoint: everything needed to resume replay at
+/// `index` after functional fast-forward, plus digests that pin the
+/// skipped prefix (a full [`TraceReader::verify`](crate::TraceReader)
+/// pass recomputes and checks them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointFrame {
+    /// Stream index of the first record after this frame.
+    pub index: u64,
+    /// PC of that record — where fetch resumes.
+    pub next_pc: u64,
+    /// Functional call-stack depth at `index`.
+    pub call_depth: u64,
+    /// Committed-RAT summary: digest of each architectural register's
+    /// last-writer stream index over the prefix.
+    pub rat_digest: u64,
+    /// Branch-history digest over the prefix (control-flow records).
+    pub branch_digest: u64,
+    /// Memory-touch digest over the prefix (load/store addresses).
+    pub mem_digest: u64,
+}
+
+impl CheckpointFrame {
+    /// Serializes the frame, tag included.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(TAG_FRAME);
+        write_u64(out, self.index);
+        write_u64(out, self.next_pc);
+        write_u64(out, self.call_depth);
+        out.extend_from_slice(&self.rat_digest.to_le_bytes());
+        out.extend_from_slice(&self.branch_digest.to_le_bytes());
+        out.extend_from_slice(&self.mem_digest.to_le_bytes());
+    }
+
+    /// Deserializes a frame body (the tag byte has been consumed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Truncated`] if the stream ends mid-frame.
+    pub fn decode(r: &mut impl Read) -> Result<Self, TraceError> {
+        Ok(CheckpointFrame {
+            index: read_u64(r)?,
+            next_pc: read_u64(r)?,
+            call_depth: read_u64(r)?,
+            rat_digest: read_fixed_u64(r)?,
+            branch_digest: read_fixed_u64(r)?,
+            mem_digest: read_fixed_u64(r)?,
+        })
+    }
+}
+
+/// Per-block delta-codec state. Reset to
+/// [`BlockCodecState::at_frame`] at every checkpoint frame, which is
+/// what makes blocks independently decodable.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCodecState {
+    /// Predicted PC of the next record (previous record's `next_pc`).
+    pub expected_pc: u64,
+    /// Previous memory address in this block (delta base).
+    pub prev_mem: u64,
+}
+
+impl BlockCodecState {
+    /// Fresh state at a checkpoint frame.
+    #[must_use]
+    pub fn at_frame(frame: &CheckpointFrame) -> Self {
+        BlockCodecState { expected_pc: frame.next_pc, prev_mem: 0 }
+    }
+}
+
+/// Encodes one record into `out`, advancing the delta state.
+/// `fallthrough` is the record's static fallthrough PC (used for the
+/// implicit-successor shortcut).
+pub fn encode_record(
+    out: &mut Vec<u8>,
+    state: &mut BlockCodecState,
+    r: &TraceRecord,
+    fallthrough: u64,
+) {
+    let mut flags = 0u8;
+    if r.taken {
+        flags |= F_TAKEN;
+    }
+    if r.mem_addr.is_some() {
+        flags |= F_MEM;
+    }
+    match r.exception {
+        Some(Exception::PageFault) => flags |= F_EXC,
+        Some(Exception::DivideByZero) => flags |= F_EXC | F_EXC_KIND,
+        None => {}
+    }
+    if r.pc == state.expected_pc {
+        flags |= F_PC_IMPLICIT;
+    }
+    if r.next_pc == fallthrough {
+        flags |= F_NEXT_SEQ;
+    }
+    out.push(flags);
+    out.push(class_code(r.class));
+    if flags & F_PC_IMPLICIT == 0 {
+        write_i64(out, r.pc.wrapping_sub(state.expected_pc) as i64);
+    }
+    if flags & F_NEXT_SEQ == 0 {
+        write_i64(out, r.next_pc.wrapping_sub(r.pc) as i64);
+    }
+    if let Some(addr) = r.mem_addr {
+        write_i64(out, addr.wrapping_sub(state.prev_mem) as i64);
+        state.prev_mem = addr;
+    }
+    state.expected_pc = r.next_pc;
+}
+
+/// Decodes one record, advancing the delta state and validating it
+/// against the static program.
+///
+/// # Errors
+///
+/// [`TraceError::Truncated`] / [`TraceError::Corrupt`] for a damaged
+/// stream; [`TraceError::ProgramMismatch`] when the decoded PC does not
+/// name an instruction of `program` or names one of a different class.
+pub fn decode_record(
+    r: &mut impl Read,
+    state: &mut BlockCodecState,
+    program: &Program,
+) -> Result<TraceRecord, TraceError> {
+    let mut head = [0u8; 2];
+    r.read_exact(&mut head).map_err(|_| TraceError::Truncated("record head"))?;
+    let (flags, code) = (head[0], head[1]);
+    if flags & !F_KNOWN != 0 {
+        return Err(TraceError::Corrupt(format!("unknown record flags {flags:#04x}")));
+    }
+    let class = class_from_code(code)
+        .ok_or_else(|| TraceError::Corrupt(format!("unknown op-class code {code}")))?;
+    let pc = if flags & F_PC_IMPLICIT != 0 {
+        state.expected_pc
+    } else {
+        state.expected_pc.wrapping_add(read_i64(r)? as u64)
+    };
+    let sinst = program.at(pc).ok_or_else(|| {
+        TraceError::ProgramMismatch(format!("record pc {pc:#x} is not an instruction boundary"))
+    })?;
+    if sinst.class != class {
+        return Err(TraceError::ProgramMismatch(format!(
+            "record at {pc:#x} has class {class:?} but the program decodes {:?}",
+            sinst.class
+        )));
+    }
+    let next_pc = if flags & F_NEXT_SEQ != 0 {
+        sinst.fallthrough
+    } else {
+        pc.wrapping_add(read_i64(r)? as u64)
+    };
+    let mem_addr = if flags & F_MEM != 0 {
+        let addr = state.prev_mem.wrapping_add(read_i64(r)? as u64);
+        state.prev_mem = addr;
+        Some(addr)
+    } else {
+        None
+    };
+    if flags & F_MEM == 0 && class.is_memory() {
+        return Err(TraceError::Corrupt(format!(
+            "memory instruction at {pc:#x} carries no address"
+        )));
+    }
+    let exception = if flags & F_EXC != 0 {
+        Some(if flags & F_EXC_KIND != 0 { Exception::DivideByZero } else { Exception::PageFault })
+    } else {
+        None
+    };
+    state.expected_pc = next_pc;
+    Ok(TraceRecord { pc, next_pc, taken: flags & F_TAKEN != 0, mem_addr, class, exception })
+}
+
+/// Rebuilds the full [`DynInst`] a live Oracle would have produced for
+/// this record at stream index `idx`.
+///
+/// # Panics
+///
+/// Panics if the record's PC is not in `program` — decode validated
+/// that, so this only fires on caller misuse.
+#[must_use]
+pub fn materialize(r: &TraceRecord, idx: u64, program: &Program) -> DynInst {
+    let sinst = *program.at(r.pc).expect("decode validated the pc");
+    DynInst {
+        seq: idx,
+        sinst,
+        outcome: atr_isa::DynOutcome {
+            taken: r.taken,
+            next_pc: r.next_pc,
+            mem_addr: r.mem_addr,
+            exception: r.exception,
+        },
+        on_wrong_path: false,
+        oracle_idx: idx,
+    }
+}
+
+/// The stable one-byte encoding of an op class (its position in
+/// [`OpClass::ALL`]).
+#[must_use]
+pub fn class_code(class: OpClass) -> u8 {
+    OpClass::ALL.iter().position(|c| *c == class).expect("ALL is exhaustive") as u8
+}
+
+/// Inverse of [`class_code`].
+#[must_use]
+pub fn class_from_code(code: u8) -> Option<OpClass> {
+    OpClass::ALL.get(code as usize).copied()
+}
+
+/// Writes the trailer sealing `total` records under `stream_digest`.
+pub fn encode_trailer(out: &mut Vec<u8>, total: u64, stream_digest: u64) {
+    out.push(TAG_TRAILER);
+    write_u64(out, total);
+    let _ = write_fixed_u64(out, stream_digest);
+}
+
+// ---------------------------------------------------------- digests
+
+/// Folds one record into the running whole-stream digest.
+#[must_use]
+pub fn stream_digest_step(d: u64, r: &TraceRecord) -> u64 {
+    let mem = r.mem_addr.map_or(0x5bd1_e995, mix64);
+    let exc = match r.exception {
+        None => 0,
+        Some(Exception::PageFault) => 0x9e37,
+        Some(Exception::DivideByZero) => 0x79b9,
+    };
+    mix64(d ^ r.pc ^ r.next_pc.rotate_left(17) ^ (u64::from(r.taken) << 1 | 1) ^ mem ^ exc)
+}
+
+/// Folds one record into the branch-history digest (control flow only).
+#[must_use]
+pub fn branch_digest_step(d: u64, r: &TraceRecord) -> u64 {
+    if r.class.is_control_flow() {
+        mix64(d ^ r.pc ^ (u64::from(r.taken) << 63) ^ r.next_pc)
+    } else {
+        d
+    }
+}
+
+/// Folds one record into the memory-touch digest (loads/stores only).
+#[must_use]
+pub fn mem_digest_step(d: u64, r: &TraceRecord) -> u64 {
+    match r.mem_addr {
+        Some(addr) => mix64(d ^ addr ^ r.pc.rotate_left(32)),
+        None => d,
+    }
+}
+
+/// Digest of the committed-RAT summary: each architectural register's
+/// last-writer stream index (`u64::MAX` = never written).
+#[must_use]
+pub fn rat_digest(last_writer: &[u64; NUM_ARCH_REGS]) -> u64 {
+    let mut d = 0u64;
+    for (flat, &idx) in last_writer.iter().enumerate() {
+        d = mix64(d ^ (flat as u64) ^ idx.rotate_left(13));
+    }
+    d
+}
+
+/// Digest of a program's static text plus identity, pinning trace
+/// files to the exact program they were captured from.
+#[must_use]
+pub fn program_digest(program: &Program) -> u64 {
+    let mut d = mix64(program.seed() ^ program.entry().rotate_left(7));
+    for inst in program.instructions() {
+        let mut h = inst.pc ^ (u64::from(class_code(inst.class)) << 56);
+        h ^= inst.fallthrough.rotate_left(11);
+        if let Some(t) = inst.taken_target {
+            h ^= t.rotate_left(23) | 1;
+        }
+        if let Some(dst) = inst.dst {
+            h ^= (dst.flat_index() as u64) << 40;
+        }
+        for (i, src) in inst.sources().enumerate() {
+            h ^= (src.flat_index() as u64) << (8 * i);
+        }
+        d = mix64(d ^ h);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_codes_roundtrip_exhaustively() {
+        for class in OpClass::ALL {
+            assert_eq!(class_from_code(class_code(class)), Some(class));
+        }
+        assert_eq!(class_from_code(OpClass::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = TraceHeader {
+            record_count: 12345,
+            seed: 0xdead_beef,
+            entry: 0x1000,
+            text_len: 777,
+            program_digest: 0x0123_4567_89ab_cdef,
+            checkpoint_interval: 256,
+            name: "505.mcf_r".to_owned(),
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(TraceHeader::decode(&mut buf.as_slice()).unwrap(), h);
+        // record_count really sits at the fixed patch offset.
+        let patched = u64::from_le_bytes(
+            buf[RECORD_COUNT_OFFSET as usize..RECORD_COUNT_OFFSET as usize + 8].try_into().unwrap(),
+        );
+        assert_eq!(patched, 12345);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let f = CheckpointFrame {
+            index: 4096,
+            next_pc: 0x2040,
+            call_depth: 3,
+            rat_digest: 1,
+            branch_digest: 2,
+            mem_digest: 3,
+        };
+        let mut buf = Vec::new();
+        f.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let mut tag = [0u8; 1];
+        slice.read_exact(&mut tag).unwrap();
+        assert_eq!(tag[0], TAG_FRAME);
+        assert_eq!(CheckpointFrame::decode(&mut slice).unwrap(), f);
+    }
+
+    #[test]
+    fn alien_and_future_files_are_rejected() {
+        assert!(matches!(
+            TraceHeader::decode(&mut b"NOPE".as_slice()),
+            Err(TraceError::BadMagic | TraceError::Truncated(_))
+        ));
+        let mut buf = Vec::new();
+        TraceHeader {
+            record_count: 0,
+            seed: 0,
+            entry: 0,
+            text_len: 0,
+            program_digest: 0,
+            checkpoint_interval: 1,
+            name: String::new(),
+        }
+        .encode(&mut buf);
+        buf[4] = 9; // future version
+        assert!(matches!(TraceHeader::decode(&mut buf.as_slice()), Err(TraceError::BadVersion(9))));
+    }
+}

@@ -1,0 +1,102 @@
+//! `atr-trace`: compact trace capture/replay substrate (`ATRT1`).
+//!
+//! The paper drives Scarab with SPEC CPU 2017 simpoint traces; this
+//! repo synthesizes dynamic streams with [`atr_workload::Oracle`]. The
+//! run matrix re-simulates the same program under every scheme × tweak
+//! point, so regenerating the identical functional stream per point is
+//! pure waste — the gem5 split between cheap functional fast-forward
+//! and detailed timing argues for capturing each program's stream
+//! *once* and replaying it everywhere.
+//!
+//! This crate provides that substrate:
+//!
+//! * **`ATRT1`** — a versioned binary trace format: blocks of
+//!   varint + delta-encoded records `(pc, next_pc, taken, mem_addr,
+//!   uop class, exception)`, each block preceded by an architectural
+//!   [checkpoint frame](format::CheckpointFrame) (stream index, resume
+//!   PC, call depth, committed-RAT / branch-history / memory-touch
+//!   digests) and the file sealed by a digest trailer;
+//! * [`TraceWriter`] — streaming capture, e.g. from a live Oracle run
+//!   ([`capture`]);
+//! * [`TraceReader`] — header inspection and full-file verification
+//!   ([`TraceReader::verify`] recomputes every digest);
+//! * [`TraceReplay`] — an [`atr_workload::TraceSource`] that decodes
+//!   block-by-block with O(1) memory, and can
+//!   [fast-forward](TraceReplay::fast_forward_to) to the checkpoint
+//!   frame at or below a target index so detailed simulation starts
+//!   mid-stream (checkpointed warmup skip);
+//! * [`TraceCache`] — an on-disk cache of captured traces keyed by
+//!   program identity, used by `atr-sim`'s executor to capture each
+//!   deduplicated program once per matrix.
+//!
+//! Replay is bit-exact: a [`TraceReplay`] serves the same
+//! [`atr_isa::DynInst`]s a live Oracle would, so a pipeline run on
+//! either substrate retires an identical stream (pinned by the
+//! cross-scheme differential harness in `atr-sim`).
+
+pub mod cache;
+pub mod format;
+pub mod reader;
+pub mod varint;
+pub mod writer;
+
+pub use cache::TraceCache;
+pub use format::{CheckpointFrame, TraceHeader, TraceRecord};
+pub use reader::{TraceReader, TraceReplay, VerifyReport};
+pub use writer::{capture, capture_oracle, TraceWriter};
+
+/// Anything that can go wrong producing or consuming an `ATRT1` file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `ATRT` magic.
+    BadMagic,
+    /// The file is a later (or garbage) format version.
+    BadVersion(u8),
+    /// The stream ended inside the named structure.
+    Truncated(&'static str),
+    /// Structurally invalid content (bad tag, digest mismatch, …).
+    Corrupt(String),
+    /// The trace was captured from a different program than the one
+    /// offered for replay.
+    ProgramMismatch(String),
+    /// A valid trace that holds fewer records than the run needs.
+    TooShort {
+        /// Records present in the trace.
+        have: u64,
+        /// Records the caller asked for.
+        need: u64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => f.write_str("not an ATRT trace (bad magic)"),
+            TraceError::BadVersion(v) => write!(f, "unsupported ATRT version {v} (expected 1)"),
+            TraceError::Truncated(what) => write!(f, "trace truncated inside {what}"),
+            TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
+            TraceError::ProgramMismatch(why) => write!(f, "trace/program mismatch: {why}"),
+            TraceError::TooShort { have, need } => {
+                write!(f, "trace holds {have} records but {need} were requested")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

@@ -1,0 +1,457 @@
+//! `ATRT1` consumption: header inspection, full-file verification, and
+//! the streaming [`TraceReplay`] source.
+
+use crate::format::{
+    branch_digest_step, decode_record, materialize, mem_digest_step, rat_digest,
+    stream_digest_step, BlockCodecState, CheckpointFrame, TraceHeader, TAG_BLOCK, TAG_FRAME,
+    TAG_TRAILER,
+};
+use crate::varint::{read_fixed_u64, read_u64};
+use crate::TraceError;
+use atr_isa::{DynInst, OpClass, NUM_ARCH_REGS};
+use atr_workload::{Program, TraceSource};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Largest plausible block payload (interval × worst-case record size,
+/// with enormous slack); anything bigger is a corrupt length field, and
+/// honouring it would let one flipped bit allocate gigabytes.
+const MAX_PAYLOAD: u64 = 1 << 28;
+
+/// Summary of a successful [`TraceReader::verify`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Records decoded.
+    pub records: u64,
+    /// Segments (checkpoint frames) visited.
+    pub segments: u64,
+    /// Whole-stream digest, equal to the trailer's.
+    pub stream_digest: u64,
+}
+
+/// Read-side handle on one `ATRT1` file. Opening decodes only the
+/// header; [`TraceReader::verify`] scans the whole file.
+#[derive(Debug)]
+pub struct TraceReader {
+    input: BufReader<File>,
+    header: TraceHeader,
+    path: PathBuf,
+}
+
+impl TraceReader {
+    /// Opens `path` and decodes its header.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or any header decode error ([`TraceError::BadMagic`],
+    /// [`TraceError::BadVersion`], …).
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let mut input = BufReader::new(File::open(path)?);
+        let header = TraceHeader::decode(&mut input)?;
+        Ok(TraceReader { input, header, path: path.to_owned() })
+    }
+
+    /// Opens `path`, requires a finalized capture, and pins it to
+    /// `program`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`] for an unfinalized (crashed) capture and
+    /// [`TraceError::ProgramMismatch`] for a foreign one, plus
+    /// [`TraceReader::open`]'s errors.
+    pub fn open_validated(path: &Path, program: &Program) -> Result<Self, TraceError> {
+        let reader = TraceReader::open(path)?;
+        if reader.header.record_count == 0 {
+            return Err(TraceError::Corrupt(
+                "record count is zero: capture was never finalized".into(),
+            ));
+        }
+        reader.header.check_program(program)?;
+        Ok(reader)
+    }
+
+    /// The decoded header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Scans the whole file, recomputing every digest: each checkpoint
+    /// frame's RAT / branch / memory digests and call depth, frame index
+    /// continuity, block payload sizes, the trailer's record count and
+    /// stream digest, and the patched header count.
+    ///
+    /// # Errors
+    ///
+    /// The first structural or digest mismatch found, as
+    /// [`TraceError::Corrupt`] / [`TraceError::Truncated`] /
+    /// [`TraceError::ProgramMismatch`].
+    pub fn verify(mut self, program: &Program) -> Result<VerifyReport, TraceError> {
+        let mut records = 0u64;
+        let mut segments = 0u64;
+        let mut stream_digest = 0u64;
+        let mut branch_digest = 0u64;
+        let mut mem_digest = 0u64;
+        let mut call_depth = 0u64;
+        let mut last_writer = [u64::MAX; NUM_ARCH_REGS];
+        loop {
+            let mut tag = [0u8; 1];
+            self.input.read_exact(&mut tag).map_err(|_| TraceError::Truncated("segment tag"))?;
+            match tag[0] {
+                TAG_FRAME => {
+                    let frame = CheckpointFrame::decode(&mut self.input)?;
+                    let expect = CheckpointFrame {
+                        index: records,
+                        next_pc: frame.next_pc,
+                        call_depth,
+                        rat_digest: rat_digest(&last_writer),
+                        branch_digest,
+                        mem_digest,
+                    };
+                    if frame != expect {
+                        return Err(TraceError::Corrupt(format!(
+                            "checkpoint frame at record {records} disagrees with the \
+                             recomputed prefix state: file has {frame:?}, expected {expect:?}"
+                        )));
+                    }
+                    segments += 1;
+                    let (n_records, payload) = read_block(&mut self.input)?;
+                    let mut codec = BlockCodecState::at_frame(&frame);
+                    let mut cursor = payload.as_slice();
+                    for i in 0..n_records {
+                        let r = decode_record(&mut cursor, &mut codec, program)?;
+                        if i == 0 && r.pc != frame.next_pc {
+                            return Err(TraceError::Corrupt(format!(
+                                "block at record {records} starts at pc {:#x} but its \
+                                 frame promises {:#x}",
+                                r.pc, frame.next_pc
+                            )));
+                        }
+                        stream_digest = stream_digest_step(stream_digest, &r);
+                        branch_digest = branch_digest_step(branch_digest, &r);
+                        mem_digest = mem_digest_step(mem_digest, &r);
+                        if let Some(dst) = program.at(r.pc).expect("decode validated the pc").dst {
+                            last_writer[dst.flat_index()] = records;
+                        }
+                        match r.class {
+                            OpClass::Call => call_depth = (call_depth + 1).min(256),
+                            OpClass::Return => call_depth = call_depth.saturating_sub(1),
+                            _ => {}
+                        }
+                        records += 1;
+                    }
+                    if !cursor.is_empty() {
+                        return Err(TraceError::Corrupt(format!(
+                            "block ending at record {records} has {} undecoded payload bytes",
+                            cursor.len()
+                        )));
+                    }
+                }
+                TAG_TRAILER => {
+                    let total = read_u64(&mut self.input)?;
+                    let digest = read_fixed_u64(&mut self.input)?;
+                    if total != records {
+                        return Err(TraceError::Corrupt(format!(
+                            "trailer claims {total} records but the file holds {records}"
+                        )));
+                    }
+                    if digest != stream_digest {
+                        return Err(TraceError::Corrupt(format!(
+                            "trailer stream digest {digest:#x} != recomputed {stream_digest:#x}"
+                        )));
+                    }
+                    if self.header.record_count != records {
+                        return Err(TraceError::Corrupt(format!(
+                            "header claims {} records but the file holds {records}",
+                            self.header.record_count
+                        )));
+                    }
+                    let mut extra = [0u8; 1];
+                    if self.input.read(&mut extra).map_err(TraceError::Io)? != 0 {
+                        return Err(TraceError::Corrupt("bytes after the trailer".into()));
+                    }
+                    return Ok(VerifyReport { records, segments, stream_digest });
+                }
+                other => {
+                    return Err(TraceError::Corrupt(format!(
+                        "unknown segment tag {other:#04x} at record {records} of {}",
+                        self.path.display()
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Reads a block header + payload (the `TAG_BLOCK` byte is next in the
+/// stream).
+fn read_block(input: &mut BufReader<File>) -> Result<(u64, Vec<u8>), TraceError> {
+    let mut tag = [0u8; 1];
+    input.read_exact(&mut tag).map_err(|_| TraceError::Truncated("block tag"))?;
+    if tag[0] != TAG_BLOCK {
+        return Err(TraceError::Corrupt(format!(
+            "expected a record block after the frame, found tag {:#04x}",
+            tag[0]
+        )));
+    }
+    let n_records = read_u64(input)?;
+    if n_records == 0 {
+        return Err(TraceError::Corrupt("empty record block".into()));
+    }
+    let payload_len = read_u64(input)?;
+    if payload_len > MAX_PAYLOAD {
+        return Err(TraceError::Corrupt(format!("implausible block payload of {payload_len} B")));
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    input.read_exact(&mut payload).map_err(|_| TraceError::Truncated("block payload"))?;
+    Ok((n_records, payload))
+}
+
+/// A [`TraceSource`] that decodes an `ATRT1` file block-by-block,
+/// holding only the pipeline's live window plus one block payload in
+/// memory (O(1) in trace length).
+///
+/// [`TraceReplay::fast_forward_to`] skips whole segments by byte length
+/// — no record decode — to start replay at the checkpoint frame at or
+/// below a target index.
+#[derive(Debug)]
+pub struct TraceReplay {
+    input: BufReader<File>,
+    header: TraceHeader,
+    program: Arc<Program>,
+    path: PathBuf,
+    /// Live window, `window[0]` at stream index `base_idx`.
+    window: VecDeque<DynInst>,
+    base_idx: u64,
+    /// Next stream index to decode.
+    next_idx: u64,
+    start_idx: u64,
+    /// Current block payload and decode position within it.
+    block: Vec<u8>,
+    block_pos: usize,
+    block_remaining: u64,
+    codec: BlockCodecState,
+    /// Trailer reached: the stream is exhausted.
+    done: bool,
+}
+
+impl TraceReplay {
+    /// Opens `path` for replay of `program`, positioned at index 0.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceReader::open_validated`].
+    pub fn open(path: &Path, program: Arc<Program>) -> Result<Self, TraceError> {
+        let reader = TraceReader::open_validated(path, &program)?;
+        Ok(TraceReplay {
+            input: reader.input,
+            header: reader.header,
+            program,
+            path: reader.path,
+            window: VecDeque::new(),
+            base_idx: 0,
+            next_idx: 0,
+            start_idx: 0,
+            block: Vec::new(),
+            block_pos: 0,
+            block_remaining: 0,
+            codec: BlockCodecState { expected_pc: 0, prev_mem: 0 },
+            done: false,
+        })
+    }
+
+    /// The trace header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Total records in the trace.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.header.record_count
+    }
+
+    /// Skips forward to the checkpoint frame at or below `target` —
+    /// whole segments are skipped by payload byte length, without
+    /// decoding a record — and returns the frame index replay starts
+    /// at. The residual `target - start` records still stream through
+    /// the pipeline (detailed warmup from the checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::TooShort`] if the trace ends at or before
+    /// `target`, or decode errors walking the segment headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any record was already decoded — fast-forward is only
+    /// meaningful on a freshly opened replay.
+    pub fn fast_forward_to(&mut self, target: u64) -> Result<u64, TraceError> {
+        assert!(
+            self.next_idx == 0 && self.block_remaining == 0 && self.window.is_empty(),
+            "fast_forward_to on a replay that already decoded records"
+        );
+        if target >= self.header.record_count {
+            return Err(TraceError::TooShort { have: self.header.record_count, need: target + 1 });
+        }
+        loop {
+            let mut tag = [0u8; 1];
+            self.input.read_exact(&mut tag).map_err(|_| TraceError::Truncated("segment tag"))?;
+            match tag[0] {
+                TAG_FRAME => {
+                    let frame = CheckpointFrame::decode(&mut self.input)?;
+                    let mut block_tag = [0u8; 1];
+                    self.input
+                        .read_exact(&mut block_tag)
+                        .map_err(|_| TraceError::Truncated("block tag"))?;
+                    if block_tag[0] != TAG_BLOCK {
+                        return Err(TraceError::Corrupt(format!(
+                            "expected a record block after the frame, found tag {:#04x}",
+                            block_tag[0]
+                        )));
+                    }
+                    let n_records = read_u64(&mut self.input)?;
+                    let payload_len = read_u64(&mut self.input)?;
+                    if payload_len > MAX_PAYLOAD {
+                        return Err(TraceError::Corrupt(format!(
+                            "implausible block payload of {payload_len} B"
+                        )));
+                    }
+                    if frame.index + n_records <= target {
+                        // Entire segment precedes the target: skip its
+                        // payload without touching a record.
+                        self.input.seek_relative(payload_len as i64)?;
+                        continue;
+                    }
+                    // Target lands in this block: load it and start here.
+                    self.block.resize(payload_len as usize, 0);
+                    self.input
+                        .read_exact(&mut self.block)
+                        .map_err(|_| TraceError::Truncated("block payload"))?;
+                    self.block_pos = 0;
+                    self.block_remaining = n_records;
+                    self.codec = BlockCodecState::at_frame(&frame);
+                    self.base_idx = frame.index;
+                    self.next_idx = frame.index;
+                    self.start_idx = frame.index;
+                    return Ok(frame.index);
+                }
+                TAG_TRAILER => {
+                    return Err(TraceError::TooShort {
+                        have: self.header.record_count,
+                        need: target + 1,
+                    });
+                }
+                other => {
+                    return Err(TraceError::Corrupt(format!("unknown segment tag {other:#04x}")));
+                }
+            }
+        }
+    }
+
+    /// Decodes one record into the window. `Ok(false)` means the
+    /// trailer was reached (stream exhausted).
+    fn decode_next(&mut self) -> Result<bool, TraceError> {
+        if self.done {
+            return Ok(false);
+        }
+        if self.block_remaining == 0 {
+            let mut tag = [0u8; 1];
+            self.input.read_exact(&mut tag).map_err(|_| TraceError::Truncated("segment tag"))?;
+            match tag[0] {
+                TAG_FRAME => {
+                    let frame = CheckpointFrame::decode(&mut self.input)?;
+                    if frame.index != self.next_idx {
+                        return Err(TraceError::Corrupt(format!(
+                            "checkpoint frame indexed {} where record {} was expected",
+                            frame.index, self.next_idx
+                        )));
+                    }
+                    let (n_records, payload) = read_block(&mut self.input)?;
+                    self.block = payload;
+                    self.block_pos = 0;
+                    self.block_remaining = n_records;
+                    self.codec = BlockCodecState::at_frame(&frame);
+                }
+                TAG_TRAILER => {
+                    let total = read_u64(&mut self.input)?;
+                    if total != self.next_idx {
+                        return Err(TraceError::Corrupt(format!(
+                            "trailer claims {total} records but {} were decoded",
+                            self.next_idx
+                        )));
+                    }
+                    self.done = true;
+                    return Ok(false);
+                }
+                other => {
+                    return Err(TraceError::Corrupt(format!("unknown segment tag {other:#04x}")));
+                }
+            }
+        }
+        let mut cursor = &self.block[self.block_pos..];
+        let before = cursor.len();
+        let record = decode_record(&mut cursor, &mut self.codec, &self.program)?;
+        self.block_pos += before - cursor.len();
+        self.block_remaining -= 1;
+        self.window.push_back(materialize(&record, self.next_idx, &self.program));
+        self.next_idx += 1;
+        Ok(true)
+    }
+}
+
+impl TraceSource for TraceReplay {
+    fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    fn get(&mut self, idx: u64) -> &DynInst {
+        assert!(
+            idx >= self.base_idx,
+            "trace index {idx} already released (base {})",
+            self.base_idx
+        );
+        while self.next_idx <= idx {
+            match self.decode_next() {
+                Ok(true) => {}
+                Ok(false) => panic!(
+                    "trace {} exhausted: {} records but index {idx} requested \
+                     (capture too short for this run budget)",
+                    self.path.display(),
+                    self.next_idx
+                ),
+                Err(e) => panic!("trace {} failed at index {idx}: {e}", self.path.display()),
+            }
+        }
+        &self.window[(idx - self.base_idx) as usize]
+    }
+
+    fn release_before(&mut self, idx: u64) {
+        while self.base_idx < idx && !self.window.is_empty() {
+            self.window.pop_front();
+            self.base_idx += 1;
+        }
+    }
+
+    fn clear_exception(&mut self, idx: u64) {
+        assert!(
+            idx >= self.base_idx && idx < self.next_idx,
+            "clear_exception({idx}) outside window [{}, {})",
+            self.base_idx,
+            self.next_idx
+        );
+        self.window[(idx - self.base_idx) as usize].outcome.exception = None;
+    }
+
+    fn start_index(&self) -> u64 {
+        self.start_idx
+    }
+
+    fn generated(&self) -> u64 {
+        self.next_idx - self.start_idx
+    }
+}

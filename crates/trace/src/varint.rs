@@ -1,0 +1,161 @@
+//! LEB128 varints and zigzag signed deltas.
+//!
+//! The `ATRT1` record stream is dominated by small PC and address
+//! deltas, so every integer field is a base-128 varint and every delta
+//! is zigzag-mapped first (small magnitudes of either sign stay short).
+
+use crate::TraceError;
+use std::io::{Read, Write};
+
+/// Longest possible encoding of a `u64` (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` zigzag-encoded (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`).
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// The zigzag mapping of a signed value.
+#[must_use]
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// The inverse zigzag mapping.
+#[must_use]
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Reads one unsigned LEB128 varint from `r`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Truncated`] if the stream ends mid-varint and
+/// [`TraceError::Corrupt`] if the encoding exceeds 64 bits.
+pub fn read_u64(r: &mut impl Read) -> Result<u64, TraceError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte).map_err(|_| TraceError::Truncated("varint"))?;
+        let low = u64::from(byte[0] & 0x7f);
+        if shift >= 63 && low > 1 {
+            return Err(TraceError::Corrupt("varint overflows 64 bits".into()));
+        }
+        value |= low << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift as usize >= MAX_VARINT_LEN * 7 {
+            return Err(TraceError::Corrupt("varint longer than 10 bytes".into()));
+        }
+    }
+}
+
+/// Reads one zigzag-encoded signed varint from `r`.
+///
+/// # Errors
+///
+/// Propagates [`read_u64`]'s errors.
+pub fn read_i64(r: &mut impl Read) -> Result<i64, TraceError> {
+    Ok(unzigzag(read_u64(r)?))
+}
+
+/// Writes a fixed-width little-endian `u64` (digest fields, where the
+/// value is uniformly distributed and a varint would only add bytes).
+pub fn write_fixed_u64(out: &mut impl Write, value: u64) -> std::io::Result<()> {
+    out.write_all(&value.to_le_bytes())
+}
+
+/// Reads a fixed-width little-endian `u64`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Truncated`] if fewer than 8 bytes remain.
+pub fn read_fixed_u64(r: &mut impl Read) -> Result<u64, TraceError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(|_| TraceError::Truncated("fixed u64"))?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_u(value: u64) {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, value);
+        assert!(buf.len() <= MAX_VARINT_LEN);
+        let mut slice = buf.as_slice();
+        assert_eq!(read_u64(&mut slice).unwrap(), value, "u64 {value:#x}");
+        assert!(slice.is_empty(), "trailing bytes for {value:#x}");
+    }
+
+    #[test]
+    fn unsigned_roundtrip_at_boundaries() {
+        for shift in 0..64 {
+            roundtrip_u(1u64 << shift);
+            roundtrip_u((1u64 << shift) - 1);
+            roundtrip_u((1u64 << shift).wrapping_add(1));
+        }
+        roundtrip_u(u64::MAX);
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [-1000i64, -1, 0, 1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [-5i64, 0, 5, i64::MAX, i64::MIN, -4096, 4096] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(read_i64(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        assert!(matches!(read_u64(&mut buf.as_slice()), Err(TraceError::Truncated(_))));
+    }
+
+    #[test]
+    fn overlong_varint_errors() {
+        let buf = [0x80u8; 11];
+        assert!(matches!(read_u64(&mut buf.as_slice()), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn overflowing_tenth_byte_errors() {
+        // 9 continuation bytes then a final byte with more than the one
+        // remaining significant bit set.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        assert!(matches!(read_u64(&mut buf.as_slice()), Err(TraceError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,239 @@
+//! Streaming `ATRT1` capture.
+
+use crate::format::{
+    branch_digest_step, encode_trailer, mem_digest_step, rat_digest, stream_digest_step,
+    BlockCodecState, CheckpointFrame, TraceHeader, TraceRecord, RECORD_COUNT_OFFSET,
+};
+use crate::varint::write_u64;
+use crate::TraceError;
+use atr_isa::{DynInst, OpClass, NUM_ARCH_REGS};
+use atr_workload::{Oracle, Program, TraceSource};
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Default records per segment (one checkpoint frame each). 256 keeps
+/// the frame overhead a few percent while letting warmup fast-forward
+/// land within 256 instructions of any target — close enough that the
+/// residual detailed warmup is negligible even at tiny budgets.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 256;
+
+/// Incremental writer of one `ATRT1` file.
+///
+/// Append records in stream order with [`TraceWriter::append`] /
+/// [`TraceWriter::append_dyn`], then [`TraceWriter::finalize`] — which
+/// seals the trailer and patches the header record count. A file that
+/// was never finalized carries a zero count and is rejected by the
+/// cache and the replay opener as incomplete.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    program: Arc<Program>,
+    interval: u64,
+    // Current block.
+    block_buf: Vec<u8>,
+    block_records: u64,
+    pending_frame: Option<CheckpointFrame>,
+    codec: BlockCodecState,
+    // Whole-stream running state.
+    n_records: u64,
+    stream_digest: u64,
+    branch_digest: u64,
+    mem_digest: u64,
+    call_depth: u64,
+    last_writer: [u64; NUM_ARCH_REGS],
+    finalized: bool,
+}
+
+impl TraceWriter {
+    /// Creates `path` (truncating) and writes the header for a capture
+    /// of `program`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or writing the file.
+    pub fn create(
+        path: &Path,
+        program: Arc<Program>,
+        name: &str,
+        checkpoint_interval: u64,
+    ) -> Result<Self, TraceError> {
+        assert!(checkpoint_interval > 0, "checkpoint interval must be positive");
+        let mut header_buf = Vec::new();
+        TraceHeader::for_program(&program, name, checkpoint_interval).encode(&mut header_buf);
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&header_buf)?;
+        Ok(TraceWriter {
+            out,
+            program,
+            interval: checkpoint_interval,
+            block_buf: Vec::new(),
+            block_records: 0,
+            pending_frame: None,
+            codec: BlockCodecState { expected_pc: 0, prev_mem: 0 },
+            n_records: 0,
+            stream_digest: 0,
+            branch_digest: 0,
+            mem_digest: 0,
+            call_depth: 0,
+            last_writer: [u64::MAX; NUM_ARCH_REGS],
+            finalized: false,
+        })
+    }
+
+    /// Records appended so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.n_records
+    }
+
+    /// Appends the next stream record.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::ProgramMismatch`] if the record does not decode
+    /// against the writer's program (wrong PC or class — the capture
+    /// source and the program disagree), or an I/O error flushing a
+    /// completed block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`TraceWriter::finalize`].
+    pub fn append(&mut self, r: &TraceRecord) -> Result<(), TraceError> {
+        assert!(!self.finalized, "append after finalize");
+        let sinst = self.program.at(r.pc).ok_or_else(|| {
+            TraceError::ProgramMismatch(format!("captured pc {:#x} not in program", r.pc))
+        })?;
+        if sinst.class != r.class {
+            return Err(TraceError::ProgramMismatch(format!(
+                "captured class {:?} at {:#x} but program decodes {:?}",
+                r.class, r.pc, sinst.class
+            )));
+        }
+        let (fallthrough, dst) = (sinst.fallthrough, sinst.dst);
+        if self.block_records == 0 {
+            let frame = CheckpointFrame {
+                index: self.n_records,
+                next_pc: r.pc,
+                call_depth: self.call_depth,
+                rat_digest: rat_digest(&self.last_writer),
+                branch_digest: self.branch_digest,
+                mem_digest: self.mem_digest,
+            };
+            self.codec = BlockCodecState::at_frame(&frame);
+            self.pending_frame = Some(frame);
+        }
+        crate::format::encode_record(&mut self.block_buf, &mut self.codec, r, fallthrough);
+        self.block_records += 1;
+        self.n_records += 1;
+
+        // Running architectural state for the *next* frame.
+        self.stream_digest = stream_digest_step(self.stream_digest, r);
+        self.branch_digest = branch_digest_step(self.branch_digest, r);
+        self.mem_digest = mem_digest_step(self.mem_digest, r);
+        if let Some(dst) = dst {
+            self.last_writer[dst.flat_index()] = self.n_records - 1;
+        }
+        match r.class {
+            OpClass::Call => self.call_depth = (self.call_depth + 1).min(256),
+            OpClass::Return => self.call_depth = self.call_depth.saturating_sub(1),
+            _ => {}
+        }
+
+        if self.block_records == self.interval {
+            self.flush_segment()?;
+        }
+        Ok(())
+    }
+
+    /// [`TraceWriter::append`] for a dynamic instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceWriter::append`].
+    pub fn append_dyn(&mut self, d: &DynInst) -> Result<(), TraceError> {
+        self.append(&TraceRecord::from_dyn(d))
+    }
+
+    fn flush_segment(&mut self) -> Result<(), TraceError> {
+        let frame = self.pending_frame.take().expect("non-empty block has a frame");
+        let mut head = Vec::with_capacity(32);
+        frame.encode(&mut head);
+        head.push(crate::format::TAG_BLOCK);
+        write_u64(&mut head, self.block_records);
+        write_u64(&mut head, self.block_buf.len() as u64);
+        self.out.write_all(&head)?;
+        self.out.write_all(&self.block_buf)?;
+        self.block_buf.clear();
+        self.block_records = 0;
+        Ok(())
+    }
+
+    /// Seals the file: flushes the partial segment, writes the digest
+    /// trailer, and patches the header record count. Returns the total
+    /// record count.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or patching.
+    pub fn finalize(mut self) -> Result<u64, TraceError> {
+        assert!(!self.finalized, "double finalize");
+        if self.block_records > 0 {
+            self.flush_segment()?;
+        }
+        let mut trailer = Vec::new();
+        encode_trailer(&mut trailer, self.n_records, self.stream_digest);
+        self.out.write_all(&trailer)?;
+        self.out.flush()?;
+        let file = self.out.get_mut();
+        file.seek(SeekFrom::Start(RECORD_COUNT_OFFSET))?;
+        file.write_all(&self.n_records.to_le_bytes())?;
+        file.flush()?;
+        self.finalized = true;
+        Ok(self.n_records)
+    }
+}
+
+/// Captures the first `records` entries of `oracle`'s stream to `path`.
+/// The oracle must be freshly positioned (nothing fetched yet); its
+/// window is garbage-collected as the capture advances, so memory stays
+/// O(interval) regardless of trace length.
+///
+/// # Errors
+///
+/// See [`TraceWriter::append`] and [`TraceWriter::finalize`].
+pub fn capture_oracle(
+    oracle: &mut Oracle,
+    name: &str,
+    records: u64,
+    interval: u64,
+    path: &Path,
+) -> Result<u64, TraceError> {
+    let program = TraceSource::program(oracle).clone();
+    let mut writer = TraceWriter::create(path, program, name, interval)?;
+    for idx in 0..records {
+        let d = *oracle.get(idx);
+        writer.append_dyn(&d)?;
+        if idx % 4096 == 0 {
+            oracle.release_before(idx);
+        }
+    }
+    writer.finalize()
+}
+
+/// Captures `records` entries of `program`'s correct-path stream (a
+/// fresh, exception-free Oracle run) to `path`.
+///
+/// # Errors
+///
+/// See [`capture_oracle`].
+pub fn capture(
+    program: &Arc<Program>,
+    name: &str,
+    records: u64,
+    interval: u64,
+    path: &Path,
+) -> Result<u64, TraceError> {
+    capture_oracle(&mut Oracle::new(program.clone()), name, records, interval, path)
+}

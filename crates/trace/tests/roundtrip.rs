@@ -1,0 +1,180 @@
+//! Capture→replay round-trip identity across every SPEC profile, plus
+//! the truncated/corrupted-file error paths.
+
+use atr_trace::format::program_digest;
+use atr_trace::{capture, capture_oracle, TraceError, TraceReader, TraceReplay};
+use atr_workload::spec::all_profiles;
+use atr_workload::{Oracle, TraceSource};
+use std::path::PathBuf;
+
+/// Fresh per-test scratch dir (tests run in parallel; no shared state).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("atr_trace_test_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const RECORDS: u64 = 3000;
+const INTERVAL: u64 = 128;
+
+#[test]
+fn replay_is_bit_identical_to_the_live_oracle_for_every_profile() {
+    let dir = scratch("roundtrip");
+    for profile in all_profiles() {
+        let program = profile.build();
+        let path = dir.join(format!("{}.atrt", profile.name.replace('/', "_")));
+        let written = capture(&program, profile.name, RECORDS, INTERVAL, &path).unwrap();
+        assert_eq!(written, RECORDS, "{}", profile.name);
+
+        // The full verification pass recomputes every digest.
+        let report =
+            TraceReader::open_validated(&path, &program).unwrap().verify(&program).unwrap();
+        assert_eq!(report.records, RECORDS, "{}", profile.name);
+        assert_eq!(report.segments, RECORDS.div_ceil(INTERVAL), "{}", profile.name);
+
+        // Element-wise identity against a fresh live oracle.
+        let mut replay = TraceReplay::open(&path, program.clone()).unwrap();
+        let mut oracle = Oracle::new(program.clone());
+        for idx in 0..RECORDS {
+            assert_eq!(
+                *TraceSource::get(&mut replay, idx),
+                *oracle.get(idx),
+                "{} diverges at index {idx}",
+                profile.name
+            );
+            if idx % 512 == 0 {
+                TraceSource::release_before(&mut replay, idx.saturating_sub(64));
+                oracle.release_before(idx.saturating_sub(64));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fast_forward_lands_on_a_frame_and_streams_identically() {
+    let dir = scratch("ff");
+    let profile = &all_profiles()[0];
+    let program = profile.build();
+    let path = dir.join("ff.atrt");
+    capture(&program, profile.name, RECORDS, INTERVAL, &path).unwrap();
+
+    for target in [0, 1, INTERVAL - 1, INTERVAL, 777, RECORDS - 1] {
+        let mut replay = TraceReplay::open(&path, program.clone()).unwrap();
+        let start = replay.fast_forward_to(target).unwrap();
+        assert_eq!(start, (target / INTERVAL) * INTERVAL, "target {target}");
+        assert_eq!(replay.start_index(), start);
+        let mut oracle = Oracle::new(program.clone());
+        let _ = oracle.get(start); // generate forward to the frame
+        for idx in start..RECORDS {
+            assert_eq!(
+                *TraceSource::get(&mut replay, idx),
+                *oracle.get(idx),
+                "target {target} diverges at index {idx}"
+            );
+        }
+    }
+
+    // A target at or past the end is too short, not a panic.
+    let mut replay = TraceReplay::open(&path, program.clone()).unwrap();
+    assert!(matches!(
+        replay.fast_forward_to(RECORDS),
+        Err(TraceError::TooShort { have: RECORDS, need })
+            if need == RECORDS + 1
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exception_streams_roundtrip_and_clear() {
+    let dir = scratch("exc");
+    let program = all_profiles()[1].build();
+    let path = dir.join("exc.atrt");
+    let mut capture_src = Oracle::with_exception_rate(program.clone(), 0.01);
+    capture_oracle(&mut capture_src, "exc", RECORDS, INTERVAL, &path).unwrap();
+
+    let mut replay = TraceReplay::open(&path, program.clone()).unwrap();
+    let mut oracle = Oracle::with_exception_rate(program.clone(), 0.01);
+    let mut faults = 0u64;
+    for idx in 0..RECORDS {
+        let live = *oracle.get(idx);
+        assert_eq!(*TraceSource::get(&mut replay, idx), live, "diverges at {idx}");
+        if live.outcome.exception.is_some() {
+            faults += 1;
+            TraceSource::clear_exception(&mut replay, idx);
+            oracle.clear_exception(idx);
+            assert_eq!(*TraceSource::get(&mut replay, idx), *oracle.get(idx));
+        }
+    }
+    assert!(faults > 0, "exception rate of 1% produced no faults in {RECORDS} records");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_files_error_at_every_cut_point() {
+    let dir = scratch("trunc");
+    let program = all_profiles()[2].build();
+    let path = dir.join("full.atrt");
+    capture(&program, "trunc", 600, 64, &path).unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    // Cut the file at a spread of byte lengths: every prefix must fail
+    // verification with a structured error (never a wrong success).
+    for cut in [0, 3, 4, 5, 12, 40, full.len() / 4, full.len() / 2, full.len() - 1] {
+        let cut_path = dir.join(format!("cut_{cut}.atrt"));
+        std::fs::write(&cut_path, &full[..cut]).unwrap();
+        let result = TraceReader::open(&cut_path).and_then(|r| r.verify(&program));
+        assert!(result.is_err(), "truncation at {cut}/{} verified clean", full.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_payload_bytes_are_caught_by_verify() {
+    let dir = scratch("corrupt");
+    let program = all_profiles()[3].build();
+    let path = dir.join("full.atrt");
+    capture(&program, "corrupt", 600, 64, &path).unwrap();
+    let full = std::fs::read(&path).unwrap();
+
+    // Flip one byte at a spread of offsets past the header. Verification
+    // must reject every flip — via tag, codec, program, digest, or
+    // trailer checks — and must never report a clean pass.
+    let start = 64; // past magic/version/count; name field ends well before
+    let step = (full.len() - start) / 23;
+    for i in 0..23 {
+        let offset = start + i * step;
+        let mut bad = full.clone();
+        bad[offset] ^= 0x41;
+        let bad_path = dir.join(format!("bad_{offset}.atrt"));
+        std::fs::write(&bad_path, &bad).unwrap();
+        let result = TraceReader::open(&bad_path).and_then(|r| r.verify(&program));
+        assert!(result.is_err(), "byte flip at {offset}/{} verified clean", full.len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unfinalized_and_foreign_captures_are_rejected() {
+    let dir = scratch("reject");
+    let program = all_profiles()[4].build();
+    let path = dir.join("t.atrt");
+    capture(&program, "t", 300, 64, &path).unwrap();
+
+    // Zero the patched record count: reads as a crashed capture.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[5..13].fill(0);
+    let crashed = dir.join("crashed.atrt");
+    std::fs::write(&crashed, &bytes).unwrap();
+    assert!(matches!(TraceReader::open_validated(&crashed, &program), Err(TraceError::Corrupt(_))));
+
+    // A different program must be refused by identity, not by luck.
+    let other = all_profiles()[5].build();
+    assert_ne!(program_digest(&program), program_digest(&other));
+    assert!(matches!(
+        TraceReader::open_validated(&path, &other),
+        Err(TraceError::ProgramMismatch(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}

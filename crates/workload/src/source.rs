@@ -1,0 +1,121 @@
+//! The dynamic-stream source abstraction.
+//!
+//! The pipeline consumes the architectural instruction stream through
+//! the [`TraceSource`] trait, which makes it agnostic between the two
+//! substrates that can produce that stream:
+//!
+//! * the live [`Oracle`](crate::Oracle) — functional execution of a
+//!   [`Program`], generating each dynamic instruction on demand;
+//! * a trace replay (`atr-trace`'s `TraceReplay`) — decoding a stream
+//!   that an earlier Oracle run captured to disk, optionally starting
+//!   mid-stream at a checkpoint frame after functional fast-forward.
+//!
+//! The contract mirrors what the pipeline actually needs: random access
+//! within a sliding window (`get`), commit-driven garbage collection
+//! (`release_before`), exception re-execution (`clear_exception`), and
+//! the static [`Program`] for wrong-path fetch. Indices are the
+//! architectural retirement order, identical across substrates — the
+//! cross-scheme differential harness pins capture→replay bit-identity.
+
+use crate::oracle::Oracle;
+use crate::program::Program;
+use atr_isa::DynInst;
+use std::sync::Arc;
+
+/// A source of the correct-path dynamic instruction stream.
+///
+/// Implementations must be deterministic: two sources over the same
+/// program (or the same trace) must serve bit-identical [`DynInst`]s at
+/// every index, or the run-matrix memoization and the differential
+/// validation both become unsound.
+pub trait TraceSource: Send {
+    /// The static program the stream executes (wrong-path fetch walks
+    /// its text by PC).
+    fn program(&self) -> &Arc<Program>;
+
+    /// Returns the dynamic instruction at stream index `idx`,
+    /// generating or decoding forward as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` precedes an index already passed to
+    /// [`TraceSource::release_before`] (a pipeline bug), or — for
+    /// replays — if the stream ends before `idx` (a capture that was
+    /// too short for the requested budget).
+    fn get(&mut self, idx: u64) -> &DynInst;
+
+    /// Drops cached entries with index `< idx`; called from commit with
+    /// the oldest index that can still be re-fetched after a flush.
+    fn release_before(&mut self, idx: u64);
+
+    /// Marks the injected exception at `idx` as serviced, so
+    /// re-fetching the instruction after the handler does not fault
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not currently cached.
+    fn clear_exception(&mut self, idx: u64);
+
+    /// First stream index this source can serve: `0` for a live oracle,
+    /// the checkpoint frame's index for a fast-forwarded replay. The
+    /// pipeline starts fetching here.
+    fn start_index(&self) -> u64 {
+        0
+    }
+
+    /// Total entries generated or decoded so far (diagnostics).
+    fn generated(&self) -> u64;
+}
+
+impl TraceSource for Oracle {
+    fn program(&self) -> &Arc<Program> {
+        Oracle::program(self)
+    }
+
+    fn get(&mut self, idx: u64) -> &DynInst {
+        Oracle::get(self, idx)
+    }
+
+    fn release_before(&mut self, idx: u64) {
+        Oracle::release_before(self, idx);
+    }
+
+    fn clear_exception(&mut self, idx: u64) {
+        Oracle::clear_exception(self, idx);
+    }
+
+    fn generated(&self) -> u64 {
+        Oracle::generated(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::BranchBehavior;
+    use crate::program::ProgramBuilder;
+    use atr_isa::ArchReg;
+
+    fn looped() -> Arc<Program> {
+        let mut b = ProgramBuilder::new(0, 3);
+        let head = b.next_pc();
+        b.push_alu(ArchReg::int(1), &[]);
+        b.push_cond_branch(head, &[ArchReg::int(1)], BranchBehavior::AlwaysTaken);
+        b.build()
+    }
+
+    #[test]
+    fn oracle_serves_the_trait_contract() {
+        let program = looped();
+        let mut source: Box<dyn TraceSource> = Box::new(Oracle::new(program.clone()));
+        assert_eq!(source.start_index(), 0);
+        assert_eq!(source.program().entry(), program.entry());
+        let first = *source.get(0);
+        assert_eq!(first.oracle_idx, 0);
+        let _ = source.get(64);
+        source.release_before(32);
+        assert_eq!(source.get(32).oracle_idx, 32);
+        assert_eq!(source.generated(), 65);
+    }
+}

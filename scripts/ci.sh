@@ -50,4 +50,54 @@ echo "== telemetry off-path overhead guard (<2%)"
 # budget, min-of-3 walls per level; see --bin telemetry_overhead.
 cargo run --release --offline -p atr-bench --bin telemetry_overhead
 
+echo "== trace capture→replay determinism gate + cache wall-clock report"
+# Three tiny-budget all_experiments passes: live (no trace cache), cold
+# cache (captures every program, then replays), warm cache (pure
+# replay). The figure JSON fingerprints of all three must be identical
+# — trace replay is required to be *bit*-identical to live oracle
+# generation, and any drift in the substrate shows up here as a
+# fingerprint mismatch long before it would corrupt a paper figure.
+# The warm pass doubles as the cache-hit wall-clock report.
+fingerprint() { cat "$1"/*.json | sha256sum | cut -d' ' -f1; }
+now_ms() { date +%s%3N; }
+trace_cache="$(mktemp -d)"
+live_results="$(mktemp -d)"
+cold_results="$(mktemp -d)"
+warm_results="$(mktemp -d)"
+tiny="ATR_SIM_WARMUP=500 ATR_SIM_INSTS=2000 ATR_SIM_PROGRESS=0"
+
+t0=$(now_ms)
+env $tiny ATR_RESULTS_DIR="$live_results" \
+    cargo run --release --offline -p atr-bench --bin all_experiments >/dev/null
+live_ms=$(( $(now_ms) - t0 ))
+
+t0=$(now_ms)
+env $tiny ATR_RESULTS_DIR="$cold_results" ATR_TRACE_CACHE="$trace_cache" \
+    cargo run --release --offline -p atr-bench --bin all_experiments >/dev/null
+cold_ms=$(( $(now_ms) - t0 ))
+
+t0=$(now_ms)
+env $tiny ATR_RESULTS_DIR="$warm_results" ATR_TRACE_CACHE="$trace_cache" \
+    cargo run --release --offline -p atr-bench --bin all_experiments >/dev/null
+warm_ms=$(( $(now_ms) - t0 ))
+
+live_fp=$(fingerprint "$live_results")
+cold_fp=$(fingerprint "$cold_results")
+warm_fp=$(fingerprint "$warm_results")
+if [ "$live_fp" != "$cold_fp" ] || [ "$live_fp" != "$warm_fp" ]; then
+    echo "FAIL: trace replay diverged from live oracle generation" >&2
+    echo "  live $live_fp / cold-cache $cold_fp / warm-cache $warm_fp" >&2
+    exit 1
+fi
+traces=$(ls "$trace_cache" | wc -l)
+if [ "$traces" -eq 0 ]; then
+    echo "FAIL: the cold-cache pass captured no traces — the cache never engaged," >&2
+    echo "  so the fingerprint identity above compared live runs against live runs" >&2
+    exit 1
+fi
+echo "trace gate OK: fingerprint $live_fp ($traces cached traces)"
+echo "wall clock: live ${live_ms}ms, cold-cache ${cold_ms}ms, warm-cache ${warm_ms}ms"
+awk -v l="$live_ms" -v w="$warm_ms" \
+    'BEGIN { printf "warm-cache speedup over live: %.2fx\n", l / w }'
+
 echo "CI OK"

@@ -1,0 +1,35 @@
+//! End-to-end trace-substrate validation over the calibrated SPEC suite.
+//!
+//! The trace substrate's contract is *bit*-identity: a pipeline fed by
+//! a `TraceReplay` of a captured stream must retire the same
+//! instructions in the same cycles as one fed by the live `Oracle`, for
+//! every release scheme. `sim::verify_capture_replay` checks exactly
+//! that (retired streams element-wise, plus cycle counts); here it runs
+//! over every SPEC profile, so a codec or replay regression on any
+//! profile's stream shape — branchy, strided, pointer-chasing,
+//! FP-heavy — fails by name.
+
+use atr::pipeline::CoreConfig;
+use atr::sim::verify_capture_replay;
+use atr::workload::spec;
+
+/// Tiny per-scheme budget; ×4 schemes ×2 substrates per profile keeps
+/// the suite CI-sized while still crossing flushes and region releases.
+const INSTS: u64 = 2_000;
+
+#[test]
+fn every_profile_replays_bit_identically_under_every_scheme() {
+    let dir = std::env::temp_dir().join(format!("atr_trace_replay_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for profile in spec::all_profiles() {
+        let program = profile.build();
+        let compared = verify_capture_replay(&CoreConfig::default(), &program, INSTS, &dir)
+            .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        assert!(
+            compared >= 4 * INSTS as usize,
+            "{}: compared only {compared} retired instructions",
+            profile.name
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
