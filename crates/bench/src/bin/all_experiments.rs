@@ -18,22 +18,25 @@
 use atr_analysis::{BulkReleaseLogic, CorePowerModel};
 use atr_bench::driver;
 use atr_sim::experiments as exp;
-use atr_sim::report::{gain, pct, save_json};
+use atr_sim::report::{coverage_marker, gain, pct, save_json};
 use atr_sim::RunMatrix;
 
 fn main() {
     let sim = driver::sim();
+    // Every ATR_* runtime knob, resolved exactly once.
+    let session = driver::session();
     atr_telemetry::info!(
         "running all experiments (warmup {}, measure {}) ...",
         sim.warmup,
         sim.measure
     );
+    atr_telemetry::info!("session: {}", session.describe());
 
     let t0 = std::time::Instant::now();
 
     // One shared matrix: declare everything, simulate the unique subset.
     let mut matrix = RunMatrix::new();
-    matrix.ensure(&sim.core, &exp::full_pass_points(&sim));
+    matrix.ensure_with(&session, &sim.core, &exp::full_pass_points(&sim));
     atr_telemetry::info!("[{:>5.0?}] matrix: {}", t0.elapsed(), matrix.summary());
 
     let fig01 = exp::fig01_assemble(&sim, &matrix);
@@ -166,5 +169,11 @@ fn main() {
         logic.max_frequency_ghz(1)
     );
 
+    if let Some(marker) = coverage_marker(matrix.failed(), matrix.executed()) {
+        for (point, failure) in matrix.failures() {
+            atr_telemetry::warn!("failed point {}: {failure}", point.label());
+        }
+        atr_telemetry::warn!("{marker}");
+    }
     atr_telemetry::info!("done in {:?}; {}; JSON in results/", t0.elapsed(), matrix.summary());
 }

@@ -39,13 +39,21 @@ pub mod timing {
 pub mod driver {
     use atr_json::ToJson;
     use atr_sim::report::{render_table, save_json};
-    use atr_sim::SimConfig;
+    use atr_sim::{Session, SimConfig};
 
     /// The configuration every binary simulates under: Golden-Cove core,
     /// `ATR_SIM_WARMUP`/`ATR_SIM_INSTS` budget.
     #[must_use]
     pub fn sim() -> SimConfig {
         SimConfig::golden_cove()
+    }
+
+    /// The one place a binary resolves its `ATR_*` runtime knobs: call
+    /// once at entry, thread the session through
+    /// `RunMatrix::ensure_with` / `execute_session`.
+    #[must_use]
+    pub fn session() -> Session {
+        Session::from_env()
     }
 
     /// Prints a titled table without a JSON artifact (Table 1/2, §4.4).

@@ -89,6 +89,45 @@ pub fn trace_ff_from_env() -> bool {
     std::env::var("ATR_TRACE_FF").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
 }
 
+/// Reads the `ATR_SIM_PROGRESS` switch: per-point progress lines are on
+/// unless the variable is set to `0`.
+#[must_use]
+pub fn progress_from_env() -> bool {
+    std::env::var("ATR_SIM_PROGRESS").map_or(true, |v| v != "0")
+}
+
+/// Reads the run-journal location from `ATR_RUN_JOURNAL`: unset, empty,
+/// or `0` disables journaling; `1` selects the default `run-journal/`
+/// directory under the results dir (itself `ATR_RESULTS_DIR`-
+/// relocatable); any other value is an explicit journal directory.
+/// Like the trace cache, the journal is a serving layer — flipping it
+/// never changes a simulated result — so it is deliberately *not* part
+/// of the run-matrix memoization key.
+#[must_use]
+pub fn journal_from_env() -> Option<std::path::PathBuf> {
+    let raw = std::env::var("ATR_RUN_JOURNAL").ok()?;
+    let raw = raw.trim();
+    match raw {
+        "" | "0" => None,
+        "1" => Some(crate::report::results_dir().join("run-journal")),
+        dir => Some(std::path::PathBuf::from(dir)),
+    }
+}
+
+/// Reads the `ATR_FAULT_INJECT` chaos hook: a non-empty value makes
+/// every point whose label contains it panic inside the worker. Only
+/// the CI interrupt-resume gate and the panic-isolation tests set this.
+#[must_use]
+pub fn fault_injection_from_env() -> Option<String> {
+    let raw = std::env::var("ATR_FAULT_INJECT").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed.to_owned())
+    }
+}
+
 fn env_u64(var: &str, default: u64) -> u64 {
     let Ok(raw) = std::env::var(var) else {
         return default;
@@ -241,5 +280,31 @@ mod tests {
         std::env::set_var("ATR_TRACE_FF", "0");
         assert!(!trace_ff_from_env());
         std::env::remove_var("ATR_TRACE_FF");
+    }
+
+    #[test]
+    fn journal_and_fault_env_knobs_parse() {
+        // All ATR_RUN_JOURNAL / ATR_FAULT_INJECT manipulation lives in
+        // this one test (parallel tests must not observe transient
+        // values).
+        std::env::remove_var("ATR_RUN_JOURNAL");
+        std::env::remove_var("ATR_FAULT_INJECT");
+        assert_eq!(journal_from_env(), None);
+        assert_eq!(fault_injection_from_env(), None);
+
+        std::env::set_var("ATR_RUN_JOURNAL", "0");
+        assert_eq!(journal_from_env(), None);
+        std::env::set_var("ATR_RUN_JOURNAL", "1");
+        let default_dir = journal_from_env().expect("1 selects the default dir");
+        assert!(default_dir.ends_with("run-journal"));
+        std::env::set_var("ATR_RUN_JOURNAL", "/tmp/custom-journal");
+        assert_eq!(journal_from_env(), Some(std::path::PathBuf::from("/tmp/custom-journal")));
+        std::env::remove_var("ATR_RUN_JOURNAL");
+
+        std::env::set_var("ATR_FAULT_INJECT", "  ");
+        assert_eq!(fault_injection_from_env(), None, "blank needle is off");
+        std::env::set_var("ATR_FAULT_INJECT", "505.mcf_r");
+        assert_eq!(fault_injection_from_env().as_deref(), Some("505.mcf_r"));
+        std::env::remove_var("ATR_FAULT_INJECT");
     }
 }

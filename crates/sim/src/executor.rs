@@ -1,38 +1,61 @@
-//! Parallel execution of simulation points over a scoped worker pool.
+//! Fault-tolerant parallel execution of simulation points.
 //!
 //! Points are independent deterministic simulations, so they can run on
 //! any worker in any order; results are returned index-aligned with the
 //! input slice, which keeps the output bit-identical to a serial pass.
 //! Uses only `std::thread::scope` — no external dependencies.
 //!
-//! Environment knobs:
+//! The primary entry point is [`execute_session`]: every runtime knob
+//! comes from one resolved [`Session`] (see [`crate::session`]), and
+//! each point yields a [`PointOutcome`] instead of a bare result:
 //!
-//! * `ATR_SIM_THREADS` — worker count (default: available cores).
-//! * `ATR_SIM_PROGRESS=0` — silence the per-point progress lines.
-//! * `ATR_TELEMETRY=stats|trace` — emit one JSONL telemetry record per
-//!   point (see [`crate::telemetry`]), to stdout or `ATR_TELEMETRY_OUT`.
-//! * `ATR_TRACE_CACHE=1|<dir>` — capture each distinct program's
-//!   functional stream once into an on-disk `atr-trace` cache and
-//!   replay it for every point sharing that program (bit-identical to
-//!   live generation; see [`crate::config::trace_cache_from_env`]).
-//! * `ATR_TRACE_FF=1` — additionally fast-forward each replay to the
-//!   checkpoint frame at or below the point's warmup target.
+//! * a point that **panics** is retried a bounded number of times, then
+//!   surfaced as a structured [`PointFailure`] carrying the panic
+//!   payload — the other points' results survive;
+//! * a point naming an **unknown profile** fails the same structured
+//!   way during prebuild instead of sinking the pass;
+//! * with a [`crate::journal::RunJournal`] configured, completed points
+//!   are appended as they finish and an interrupted pass **resumes**:
+//!   journaled points are served without re-simulation, bit-identical
+//!   to an uninterrupted run;
+//! * a **straggler supervisor** warns when a point exceeds a
+//!   budget-scaled soft deadline (it never kills the point — the
+//!   simulator is deterministic, slow points are just slow).
+//!
+//! [`execute`], [`execute_with`], and [`execute_with_cache`] remain as
+//! thin shims that resolve a [`Session`] (from the environment) and
+//! panic on the first failure — the pre-fault-tolerance contract their
+//! callers still expect.
 
+use crate::journal::RunJournal;
 use crate::matrix::SimPoint;
 use crate::runner::{run_with_source, RunResult, RunSpec};
+use crate::session::Session;
 use atr_pipeline::CoreConfig;
 use atr_trace::{TraceCache, TraceReplay};
 use atr_workload::spec::all_profiles;
 use atr_workload::{Oracle, Program, TraceSource};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Checkpoint frames are laid down every this many records in cached
 /// captures (see `atr_trace::writer::DEFAULT_CHECKPOINT_INTERVAL`).
 const CHECKPOINT_INTERVAL: u64 = atr_trace::writer::DEFAULT_CHECKPOINT_INTERVAL;
+
+/// Fixed part of the straggler soft deadline.
+const STRAGGLER_BASE: Duration = Duration::from_secs(10);
+
+/// Budget-scaled part of the straggler soft deadline: the tiny-budget
+/// CI pass simulates well under 1 µs/instruction, so 50 µs/instruction
+/// flags a point only when it is pathologically slower than its peers.
+const STRAGGLER_MICROS_PER_INST: u64 = 50;
+
+/// How often the straggler supervisor scans the in-flight set.
+const STRAGGLER_SCAN: Duration = Duration::from_millis(200);
 
 /// Extra records captured beyond the largest `warmup + measure` of the
 /// points sharing a program: fetch runs ahead of retirement by up to
@@ -41,6 +64,13 @@ const CHECKPOINT_INTERVAL: u64 = atr_trace::writer::DEFAULT_CHECKPOINT_INTERVAL;
 /// it mid-run.
 fn capture_slack(core: &CoreConfig) -> u64 {
     2 * core.rob_size as u64 + 8192
+}
+
+/// The worker count with no environment consulted: the machine's
+/// available parallelism. [`Session::default`] uses this.
+#[must_use]
+pub fn thread_count_default() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// The worker count: `ATR_SIM_THREADS` if set and valid, otherwise the
@@ -55,43 +85,317 @@ pub fn thread_count() -> usize {
             ),
         }
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    thread_count_default()
 }
 
-fn progress_enabled() -> bool {
-    std::env::var("ATR_SIM_PROGRESS").map_or(true, |v| v != "0")
+/// Why a point produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The point names a profile `atr_workload::spec` does not know.
+    UnknownProfile,
+    /// Every attempt at the point panicked.
+    Panic,
 }
 
-/// Executes every point, in parallel, against the base core config.
-/// The result vector is index-aligned with `points`.
+/// A structured per-point failure: the pass continues, the caller
+/// decides (the matrix records it, reports degrade, shims panic).
+#[derive(Debug, Clone)]
+pub struct PointFailure {
+    /// [`SimPoint::label`] of the failed point.
+    pub label: String,
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The panic payload (or prebuild diagnostic) of the last attempt.
+    pub payload: String,
+    /// Attempts made (0 for prebuild failures that never ran).
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for PointFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FailureKind::UnknownProfile => write!(f, "{}: {}", self.label, self.payload),
+            FailureKind::Panic => {
+                write!(
+                    f,
+                    "{} panicked after {} attempt(s): {}",
+                    self.label, self.attempts, self.payload
+                )
+            }
+        }
+    }
+}
+
+/// One point's outcome under [`execute_session`].
+pub type PointOutcome = Result<RunResult, PointFailure>;
+
+/// Executes every point, in parallel, against the base core config,
+/// with every runtime knob taken from `session` (the environment is
+/// *not* consulted — resolve a session first with
+/// [`Session::from_env`]). The outcome vector is index-aligned with
+/// `points`; equal results are bit-identical no matter the thread
+/// count, journal state, or telemetry level.
+#[must_use]
+pub fn execute_session(
+    session: &Session,
+    core: &CoreConfig,
+    points: &[SimPoint],
+) -> Vec<PointOutcome> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut outcomes: Vec<Option<PointOutcome>> = Vec::new();
+    outcomes.resize_with(points.len(), || None);
+
+    // Generate each distinct known profile's static program once up
+    // front: points overwhelmingly share profiles, and generation is
+    // pure, so prebuilding changes nothing but the wall clock. A point
+    // naming an unknown profile becomes a structured failure here
+    // instead of a panic — one typo'd point must not sink a pass.
+    let known: HashMap<&'static str, _> = all_profiles().into_iter().map(|p| (p.name, p)).collect();
+    let mut programs: HashMap<&'static str, Arc<Program>> = HashMap::new();
+    for point in points {
+        if !programs.contains_key(point.profile) {
+            if let Some(profile) = known.get(point.profile) {
+                programs.insert(point.profile, profile.build());
+            }
+        }
+    }
+    let mut unknown_warned: HashSet<&'static str> = HashSet::new();
+    for (idx, point) in points.iter().enumerate() {
+        if !programs.contains_key(point.profile) {
+            if unknown_warned.insert(point.profile) {
+                atr_telemetry::warn!(
+                    "unknown profile in SimPoint: {} — failing its point(s), continuing the pass",
+                    point.profile
+                );
+            }
+            outcomes[idx] = Some(Err(PointFailure {
+                label: point.label(),
+                kind: FailureKind::UnknownProfile,
+                payload: format!("unknown profile in SimPoint: {}", point.profile),
+                attempts: 0,
+            }));
+        }
+    }
+
+    // Resume: serve everything the journal already holds for this core
+    // configuration. The "[journal] N of M" line is load-bearing — the
+    // CI interrupt-resume gate greps it to prove journaled points were
+    // not re-simulated.
+    let mut journal: Option<RunJournal> = None;
+    if let Some(dir) = &session.journal {
+        match RunJournal::open(dir, core) {
+            Ok(j) => journal = Some(j),
+            Err(e) => atr_telemetry::warn!(
+                "run journal at {} is unusable ({e}); continuing without resume",
+                dir.display()
+            ),
+        }
+    }
+    if let Some(j) = &journal {
+        let mut served = 0usize;
+        for (idx, point) in points.iter().enumerate() {
+            if outcomes[idx].is_none() {
+                if let Some(result) = j.lookup(point) {
+                    outcomes[idx] = Some(Ok(result.clone()));
+                    served += 1;
+                }
+            }
+        }
+        atr_telemetry::info!(
+            "[journal] {served} of {} points served from {}",
+            points.len(),
+            j.path().display()
+        );
+    }
+
+    let todo: Vec<usize> = (0..points.len()).filter(|&i| outcomes[i].is_none()).collect();
+    let todo_points: Vec<&SimPoint> = todo.iter().map(|&i| &points[i]).collect();
+    let traces = prepare_traces(session, core, &todo_points, &programs);
+
+    let mut walls: HashMap<usize, Duration> = HashMap::new();
+    if !todo.is_empty() {
+        let workers = session.threads.clamp(1, todo.len());
+        let t0 = Instant::now();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let journal_cell: Option<Mutex<RunJournal>> = journal.map(Mutex::new);
+        // Straggler bookkeeping: point index → (start, soft deadline).
+        let inflight: Mutex<HashMap<usize, (Instant, Duration)>> = Mutex::new(HashMap::new());
+        let stop = (Mutex::new(false), Condvar::new());
+
+        std::thread::scope(|scope| {
+            // Supervisor: scans the in-flight set on a condvar timeout
+            // (not a naked sleep loop — shutdown is immediate once the
+            // workers drain, so short passes pay no scan latency).
+            let supervisor = {
+                let inflight = &inflight;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let (lock, cvar) = stop;
+                    let mut warned: HashSet<usize> = HashSet::new();
+                    let mut stopped = lock.lock().unwrap();
+                    while !*stopped {
+                        stopped = cvar.wait_timeout(stopped, STRAGGLER_SCAN).unwrap().0;
+                        if *stopped {
+                            return;
+                        }
+                        let now = Instant::now();
+                        for (&idx, &(start, deadline)) in inflight.lock().unwrap().iter() {
+                            let running = now.duration_since(start);
+                            if running > deadline && warned.insert(idx) {
+                                atr_telemetry::warn!(
+                                    "[straggler] {} running {running:.1?}, past its soft deadline {deadline:.1?}",
+                                    points[idx].label()
+                                );
+                            }
+                        }
+                    }
+                })
+            };
+
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                let done = &done;
+                let todo = &todo;
+                let programs = &programs;
+                let traces = &traces;
+                let inflight = &inflight;
+                let journal_cell = &journal_cell;
+                handles.push(scope.spawn(move || {
+                    let mut produced: Vec<(usize, PointOutcome, Duration)> = Vec::new();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&idx) = todo.get(slot) else {
+                            return produced;
+                        };
+                        let point = &points[idx];
+                        let started = Instant::now();
+                        inflight.lock().unwrap().insert(idx, (started, straggler_deadline(point)));
+                        let outcome = run_point_guarded(
+                            session,
+                            core,
+                            programs[point.profile].clone(),
+                            point,
+                            traces.get(point.profile).map(PathBuf::as_path),
+                        );
+                        inflight.lock().unwrap().remove(&idx);
+                        let wall = started.elapsed();
+                        if let (Some(cell), Ok(result)) = (journal_cell, &outcome) {
+                            cell.lock().unwrap().append(point, result);
+                        }
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        match &outcome {
+                            Ok(_) if session.progress => atr_telemetry::info!(
+                                "[matrix {:>4}/{:<4} {:>7.1?}] {} ({:.0?})",
+                                finished,
+                                todo.len(),
+                                t0.elapsed(),
+                                point.label(),
+                                wall,
+                            ),
+                            Ok(_) => {}
+                            Err(failure) => atr_telemetry::warn!(
+                                "[matrix {:>4}/{:<4}] FAILED {failure}",
+                                finished,
+                                todo.len(),
+                            ),
+                        }
+                        produced.push((idx, outcome, wall));
+                    }
+                }));
+            }
+            for handle in handles {
+                // Workers cannot panic — run_point_guarded catches — so
+                // a join failure here is a harness bug, not a bad point.
+                for (idx, outcome, wall) in handle.join().expect("executor worker died") {
+                    walls.insert(idx, wall);
+                    outcomes[idx] = Some(outcome);
+                }
+            }
+            *stop.0.lock().unwrap() = true;
+            stop.1.notify_all();
+            supervisor.join().expect("straggler supervisor died");
+        });
+    }
+
+    let outcomes: Vec<PointOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every point resolved by prebuild, journal, or a worker"))
+        .collect();
+
+    // One JSONL record per *freshly simulated* point, in input order —
+    // stable no matter which worker ran what. Journal-served points
+    // emit nothing: their observer state was not recorded (telemetry is
+    // excluded from the journal by design), and an empty record would
+    // be indistinguishable from a telemetry-off run.
+    if session.telemetry.stats_enabled() {
+        let lines: Vec<String> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, outcome)| match (outcome, walls.get(&idx)) {
+                (Ok(result), Some(wall)) => {
+                    Some(crate::telemetry::record(&points[idx], result, *wall).compact())
+                }
+                _ => None,
+            })
+            .collect();
+        crate::telemetry::emit_lines(&lines);
+    }
+
+    let failed = outcomes.iter().filter(|o| o.is_err()).count();
+    if failed > 0 {
+        atr_telemetry::warn!(
+            "[matrix] {failed} of {} point(s) failed; downstream reports degrade to the surviving set",
+            points.len()
+        );
+    }
+    outcomes
+}
+
+/// The soft deadline after which a running point is flagged as a
+/// straggler: a fixed base plus a budget-scaled term, so a 10M-inst
+/// full-budget point gets proportionally more headroom than a tiny CI
+/// point.
+fn straggler_deadline(point: &SimPoint) -> Duration {
+    STRAGGLER_BASE
+        + Duration::from_micros(
+            (point.warmup + point.measure).saturating_mul(STRAGGLER_MICROS_PER_INST),
+        )
+}
+
+/// Executes every point against the environment-resolved session,
+/// panicking on any failure. The result vector is index-aligned with
+/// `points`.
 ///
 /// # Panics
 ///
-/// Panics if a point names a profile `atr_workload::spec` does not know.
+/// Panics on the first failed point (unknown profile, exhausted panic
+/// retries). Use [`execute_session`] for structured failures.
 #[must_use]
 pub fn execute(core: &CoreConfig, points: &[SimPoint]) -> Vec<RunResult> {
-    execute_with(core, points, thread_count())
+    expect_all(execute_session(&Session::from_env(), core, points))
 }
 
 /// [`execute`] with an explicit worker count (1 = serial). Exposed so
 /// the determinism tests can compare serial and parallel passes. The
 /// trace cache (and fast-forward switch) come from the environment;
 /// [`execute_with_cache`] takes them explicitly.
+///
+/// # Panics
+///
+/// Panics on the first failed point.
 #[must_use]
 pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> Vec<RunResult> {
-    let cache_dir = crate::config::trace_cache_from_env();
-    execute_with_cache(
-        core,
-        points,
-        threads,
-        cache_dir.as_deref(),
-        crate::config::trace_ff_from_env(),
-    )
+    expect_all(execute_session(&Session::from_env().with_threads(threads), core, points))
 }
 
 /// [`execute_with`] with an explicit trace-cache directory and
-/// fast-forward switch — the environment is not consulted, so tests
-/// exercising the cache cannot race parallel tests on env state.
+/// fast-forward switch — the cache knobs are *not* read from the
+/// environment, so tests exercising the cache cannot race parallel
+/// tests on env state.
 ///
 /// When `cache_dir` is set, each distinct program among `points` is
 /// captured once (sized to the largest `warmup + measure` of its points
@@ -100,6 +404,10 @@ pub fn execute_with(core: &CoreConfig, points: &[SimPoint], threads: usize) -> V
 /// bit-identical to live generation; any cache problem (unwritable
 /// directory, corrupt file) degrades that program to live generation
 /// with a warning rather than failing the pass.
+///
+/// # Panics
+///
+/// Panics on the first failed point.
 #[must_use]
 pub fn execute_with_cache(
     core: &CoreConfig,
@@ -108,111 +416,35 @@ pub fn execute_with_cache(
     cache_dir: Option<&Path>,
     fast_forward: bool,
 ) -> Vec<RunResult> {
-    if points.is_empty() {
-        return Vec::new();
-    }
-    // Generate each distinct profile's static program once up front:
-    // points overwhelmingly share profiles, and generation is pure, so
-    // prebuilding changes nothing but the wall clock.
-    let known: HashMap<&'static str, _> = all_profiles().into_iter().map(|p| (p.name, p)).collect();
-    let mut programs: HashMap<&'static str, Arc<Program>> = HashMap::new();
-    for point in points {
-        if !programs.contains_key(point.profile) {
-            let profile = known
-                .get(point.profile)
-                .unwrap_or_else(|| panic!("unknown profile in SimPoint: {}", point.profile));
-            programs.insert(point.profile, profile.build());
-        }
-    }
-    let traces = prepare_traces(core, points, &programs, cache_dir);
-    let workers = threads.clamp(1, points.len());
-    let progress = progress_enabled();
-    let telemetry = crate::config::telemetry_from_env();
-    let t0 = Instant::now();
-    let next = AtomicUsize::new(0);
-    let done = AtomicUsize::new(0);
+    let mut session = Session::from_env().with_threads(threads).with_trace_ff(fast_forward);
+    session.trace_cache = cache_dir.map(Path::to_path_buf);
+    expect_all(execute_session(&session, core, points))
+}
 
-    let mut results: Vec<Option<(RunResult, Duration)>> = Vec::new();
-    results.resize_with(points.len(), || None);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let next = &next;
-            let done = &done;
-            let programs = &programs;
-            let traces = &traces;
-            handles.push(scope.spawn(move || {
-                let mut produced: Vec<(usize, RunResult, Duration)> = Vec::new();
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= points.len() {
-                        return produced;
-                    }
-                    let point = &points[idx];
-                    let started = Instant::now();
-                    let result = run_point(
-                        core,
-                        programs[point.profile].clone(),
-                        point,
-                        traces.get(point.profile).map(PathBuf::as_path),
-                        fast_forward,
-                    );
-                    let wall = started.elapsed();
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if progress {
-                        atr_telemetry::info!(
-                            "[matrix {:>4}/{:<4} {:>7.1?}] {} ({:.0?})",
-                            finished,
-                            points.len(),
-                            t0.elapsed(),
-                            point.label(),
-                            wall,
-                        );
-                    }
-                    produced.push((idx, result, wall));
-                }
-            }));
-        }
-        for handle in handles {
-            for (idx, result, wall) in handle.join().expect("simulation worker panicked") {
-                results[idx] = Some((result, wall));
-            }
-        }
-    });
-
-    let results: Vec<(RunResult, Duration)> = results
+fn expect_all(outcomes: Vec<PointOutcome>) -> Vec<RunResult> {
+    outcomes
         .into_iter()
-        .map(|r| r.expect("every index claimed by exactly one worker"))
-        .collect();
-
-    // One JSONL record per point, in input order — stable no matter
-    // which worker ran what.
-    if telemetry.stats_enabled() {
-        let lines: Vec<String> = points
-            .iter()
-            .zip(&results)
-            .map(|(point, (result, wall))| crate::telemetry::record(point, result, *wall).compact())
-            .collect();
-        crate::telemetry::emit_lines(&lines);
-    }
-
-    results.into_iter().map(|(r, _)| r).collect()
+        .map(|outcome| match outcome {
+            Ok(result) => result,
+            Err(failure) => panic!("{failure}"),
+        })
+        .collect()
 }
 
 /// Captures (or finds cached) one trace per distinct program among
 /// `points`, sized for the largest budget any of its points needs.
-/// Returns the per-profile trace paths; an empty map means every point
-/// runs a live oracle.
+/// Distinct programs are captured concurrently on a scoped pool — on a
+/// cold cache this turns the slowest serial phase of a pass into a
+/// parallel one. Returns the per-profile trace paths; an empty map
+/// means every point runs a live oracle.
 fn prepare_traces(
+    session: &Session,
     core: &CoreConfig,
-    points: &[SimPoint],
+    points: &[&SimPoint],
     programs: &HashMap<&'static str, Arc<Program>>,
-    cache_dir: Option<&Path>,
 ) -> HashMap<&'static str, PathBuf> {
-    let mut traces = HashMap::new();
-    let Some(dir) = cache_dir else {
-        return traces;
+    let Some(dir) = &session.trace_cache else {
+        return HashMap::new();
     };
     let cache = match TraceCache::new(dir) {
         Ok(c) => c,
@@ -221,46 +453,113 @@ fn prepare_traces(
                 "trace cache at {} is unusable ({e}); running every point live",
                 dir.display()
             );
-            return traces;
+            return HashMap::new();
         }
     };
     let slack = capture_slack(core);
-    for (&name, program) in programs {
-        let needed = points
-            .iter()
-            .filter(|p| p.profile == name)
-            .map(|p| p.warmup + p.measure)
-            .max()
-            .expect("every prebuilt program has a point")
-            + slack;
-        let t0 = Instant::now();
-        match cache.ensure(program, name, CHECKPOINT_INTERVAL, needed) {
-            Ok((path, hit)) => {
-                if progress_enabled() {
-                    atr_telemetry::info!(
-                        "[trace {}] {name}: {} records in {:.0?} ({})",
-                        if hit { "hit" } else { "capture" },
-                        needed,
-                        t0.elapsed(),
-                        path.display()
-                    );
-                }
-                traces.insert(name, path);
-            }
-            Err(e) => {
-                atr_telemetry::warn!("trace capture failed for {name} ({e}); running it live");
-            }
-        }
+    let mut needed: HashMap<&'static str, u64> = HashMap::new();
+    for point in points {
+        let records = point.warmup + point.measure + slack;
+        let entry = needed.entry(point.profile).or_insert(0);
+        *entry = (*entry).max(records);
     }
-    traces
+    let jobs: Vec<(&'static str, u64)> = needed.into_iter().collect();
+    if jobs.is_empty() {
+        return HashMap::new();
+    }
+    let workers = session.threads.clamp(1, jobs.len());
+    let next = AtomicUsize::new(0);
+    let traces: Mutex<HashMap<&'static str, PathBuf>> = Mutex::new(HashMap::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let jobs = &jobs;
+            let cache = &cache;
+            let traces = &traces;
+            scope.spawn(move || loop {
+                let Some(&(name, records)) = jobs.get(next.fetch_add(1, Ordering::Relaxed)) else {
+                    return;
+                };
+                let t0 = Instant::now();
+                match cache.ensure(&programs[name], name, CHECKPOINT_INTERVAL, records) {
+                    Ok((path, hit)) => {
+                        if session.progress {
+                            atr_telemetry::info!(
+                                "[trace {}] {name}: {} records in {:.0?} ({})",
+                                if hit { "hit" } else { "capture" },
+                                records,
+                                t0.elapsed(),
+                                path.display()
+                            );
+                        }
+                        traces.lock().unwrap().insert(name, path);
+                    }
+                    Err(e) => {
+                        atr_telemetry::warn!(
+                            "trace capture failed for {name} ({e}); running it live"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    traces.into_inner().unwrap()
 }
 
-fn run_point(
+/// Runs one point with panic isolation and bounded retry. The closure
+/// is unwind-safe in the only sense that matters here: the simulator
+/// owns all its state per run and a failed attempt shares nothing with
+/// the retry.
+fn run_point_guarded(
+    session: &Session,
     core: &CoreConfig,
     program: Arc<Program>,
     point: &SimPoint,
     trace: Option<&Path>,
-    fast_forward: bool,
+) -> PointOutcome {
+    let attempts = session.retries + 1;
+    let mut payload = String::new();
+    for attempt in 1..=attempts {
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(needle) = &session.fault_injection {
+                if point.label().contains(needle.as_str()) {
+                    panic!("injected fault for {}", point.label());
+                }
+            }
+            run_point(session, core, program.clone(), point, trace)
+        }));
+        match caught {
+            Ok(result) => return Ok(result),
+            Err(panic) => {
+                payload = panic_message(panic.as_ref());
+                if attempt < attempts {
+                    atr_telemetry::warn!(
+                        "{} panicked on attempt {attempt}/{attempts} ({payload}); retrying",
+                        point.label()
+                    );
+                }
+            }
+        }
+    }
+    Err(PointFailure { label: point.label(), kind: FailureKind::Panic, payload, attempts })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn run_point(
+    session: &Session,
+    core: &CoreConfig,
+    program: Arc<Program>,
+    point: &SimPoint,
+    trace: Option<&Path>,
 ) -> RunResult {
     let mut cfg = core.clone();
     point.tweak.apply(&mut cfg);
@@ -270,11 +569,11 @@ fn run_point(
         warmup: point.warmup,
         measure: point.measure,
         collect_events: point.collect_events,
-        audit: crate::config::audit_from_env(),
-        telemetry: crate::config::telemetry_from_env(),
+        audit: session.audit,
+        telemetry: session.telemetry,
     };
     let source: Box<dyn TraceSource> = match trace
-        .and_then(|path| open_replay(path, &program, spec.warmup, fast_forward, point))
+        .and_then(|path| open_replay(path, &program, spec.warmup, session.trace_ff, point))
     {
         Some(replay) => Box::new(replay),
         None => Box::new(Oracle::new(program)),
@@ -337,6 +636,24 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+        assert!(thread_count_default() >= 1);
+    }
+
+    /// An unknown profile becomes a structured failure; its siblings
+    /// still simulate. Regression for the old prebuild panic.
+    #[test]
+    fn unknown_profile_fails_its_point_without_sinking_the_pass() {
+        let points = vec![
+            SimPoint::new("505.mcf_r", ReleaseScheme::Baseline, 64, 50, 200),
+            SimPoint::new("999.not_a_profile", ReleaseScheme::Baseline, 64, 50, 200),
+        ];
+        let session = Session::default().quiet().with_threads(1);
+        let outcomes = execute_session(&session, &CoreConfig::default(), &points);
+        assert!(outcomes[0].is_ok(), "the healthy sibling must survive");
+        let failure = outcomes[1].as_ref().expect_err("unknown profile must fail");
+        assert_eq!(failure.kind, FailureKind::UnknownProfile);
+        assert_eq!(failure.attempts, 0, "prebuild failures never run");
+        assert!(failure.payload.contains("999.not_a_profile"), "{}", failure.payload);
     }
 
     /// A cached pass — capture on the first point, replay everywhere —

@@ -94,14 +94,21 @@ pub fn fig01_points(sim: &SimConfig) -> Vec<SimPoint> {
     points
 }
 
-/// Assembles Fig 1 rows from an ensured matrix.
+/// Assembles Fig 1 rows from an ensured matrix. A failed point drops
+/// its rows (the normalization reference drops the whole benchmark);
+/// the pass-level coverage marker reports the loss.
 #[must_use]
 pub fn fig01_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig01Row> {
     let mut rows = Vec::new();
     for p in spec2017_int() {
-        let ideal = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, RF_INFINITE));
+        let Some(ideal) = matrix.try_ipc(&pt(sim, p.name, ReleaseScheme::Baseline, RF_INFINITE))
+        else {
+            continue;
+        };
         for &rf in &RF_SWEEP {
-            let ipc = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf));
+            let Some(ipc) = matrix.try_ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf)) else {
+                continue;
+            };
             rows.push(Fig01Row {
                 benchmark: p.name.to_owned(),
                 rf_size: rf,
@@ -159,7 +166,9 @@ pub fn fig04_points(sim: &SimConfig) -> Vec<SimPoint> {
 pub fn fig04_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig04Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let r = matrix.get(&events_point(sim, p.name));
+        let Some(r) = matrix.try_get(&events_point(sim, p.name)) else {
+            continue;
+        };
         let b = atr_analysis::lifecycle_breakdown(&r.lifetimes, reg_class_of(&p));
         rows.push(Fig04Row {
             benchmark: p.name.to_owned(),
@@ -220,7 +229,9 @@ pub fn fig06_points(sim: &SimConfig) -> Vec<SimPoint> {
 pub fn fig06_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig06Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let r = matrix.get(&events_point(sim, p.name));
+        let Some(r) = matrix.try_get(&events_point(sim, p.name)) else {
+            continue;
+        };
         let ratios = atr_analysis::region_ratios(&r.lifetimes, reg_class_of(&p), true);
         rows.push(Fig06Row {
             benchmark: p.name.to_owned(),
@@ -289,9 +300,14 @@ pub fn fig10_assemble(sim: &SimConfig, matrix: &RunMatrix, rf_sizes: &[usize]) -
     let mut rows = Vec::new();
     for p in all_profiles() {
         for &rf in rf_sizes {
-            let baseline = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf));
+            let Some(baseline) = matrix.try_ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf))
+            else {
+                continue;
+            };
             for scheme in FIG10_SCHEMES {
-                let ipc = matrix.ipc(&pt(sim, p.name, scheme, rf));
+                let Some(ipc) = matrix.try_ipc(&pt(sim, p.name, scheme, rf)) else {
+                    continue;
+                };
                 rows.push(Fig10Row {
                     benchmark: p.name.to_owned(),
                     class: class_of(&p).to_owned(),
@@ -374,8 +390,12 @@ pub fn fig11_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig11Row> {
         for &rf in &RF_SWEEP {
             let mut speedups = Vec::new();
             for p in &profiles {
-                let b = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf));
-                let a = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Atr { redefine_delay: 0 }, rf));
+                let (Some(b), Some(a)) = (
+                    matrix.try_ipc(&pt(sim, p.name, ReleaseScheme::Baseline, rf)),
+                    matrix.try_ipc(&pt(sim, p.name, ReleaseScheme::Atr { redefine_delay: 0 }, rf)),
+                ) else {
+                    continue;
+                };
                 speedups.push(a / b.max(1e-9));
             }
             rows.push(Fig11Row {
@@ -421,7 +441,9 @@ pub fn fig12_points(sim: &SimConfig) -> Vec<SimPoint> {
 pub fn fig12_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig12Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let r = matrix.get(&events_point(sim, p.name));
+        let Some(r) = matrix.try_get(&events_point(sim, p.name)) else {
+            continue;
+        };
         let h = atr_analysis::consumer_histogram(&r.lifetimes, reg_class_of(&p), 7);
         rows.push(Fig12Row {
             benchmark: p.name.to_owned(),
@@ -478,9 +500,17 @@ pub fn fig13_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig13Row> {
         for delay in [0u32, 1, 2] {
             let mut speedups = Vec::new();
             for p in &profiles {
-                let b = matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, 64));
-                let a =
-                    matrix.ipc(&pt(sim, p.name, ReleaseScheme::Atr { redefine_delay: delay }, 64));
+                let (Some(b), Some(a)) = (
+                    matrix.try_ipc(&pt(sim, p.name, ReleaseScheme::Baseline, 64)),
+                    matrix.try_ipc(&pt(
+                        sim,
+                        p.name,
+                        ReleaseScheme::Atr { redefine_delay: delay },
+                        64,
+                    )),
+                ) else {
+                    continue;
+                };
                 speedups.push(a / b.max(1e-9));
             }
             rows.push(Fig13Row { class: class.to_owned(), delay, speedup: geomean(speedups) });
@@ -531,7 +561,9 @@ pub fn fig14_points(sim: &SimConfig) -> Vec<SimPoint> {
 pub fn fig14_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<Fig14Row> {
     let mut rows = Vec::new();
     for p in all_profiles() {
-        let r = matrix.get(&events_point(sim, p.name));
+        let Some(r) = matrix.try_get(&events_point(sim, p.name)) else {
+            continue;
+        };
         let g = atr_analysis::atomic_region_gaps(&r.lifetimes, reg_class_of(&p));
         rows.push(Fig14Row {
             benchmark: p.name.to_owned(),
@@ -591,18 +623,19 @@ pub fn fig15_assemble(
     step: usize,
 ) -> Vec<Fig15Row> {
     let profiles = all_profiles();
-    let reference: Vec<f64> = profiles
+    // Benchmarks whose 280-register reference failed drop out of the
+    // study; the survivors' geomean still defines every curve.
+    let reference: Vec<(&'static str, f64)> = profiles
         .iter()
-        .map(|p| matrix.ipc(&pt(sim, p.name, ReleaseScheme::Baseline, 280)))
+        .filter_map(|p| {
+            matrix.try_ipc(&pt(sim, p.name, ReleaseScheme::Baseline, 280)).map(|ipc| (p.name, ipc))
+        })
         .collect();
 
     let mean_rel = |scheme: ReleaseScheme, rf: usize| -> f64 {
-        let rel: Vec<f64> = profiles
-            .iter()
-            .zip(&reference)
-            .map(|(p, &r0)| matrix.ipc(&pt(sim, p.name, scheme, rf)) / r0.max(1e-9))
-            .collect();
-        geomean(rel)
+        geomean(reference.iter().filter_map(|&(name, r0)| {
+            matrix.try_ipc(&pt(sim, name, scheme, rf)).map(|ipc| ipc / r0.max(1e-9))
+        }))
     };
 
     let threshold = 1.0 - tolerance;
@@ -689,7 +722,11 @@ pub fn ablation_move_elimination_points(sim: &SimConfig) -> Vec<SimPoint> {
 #[must_use]
 pub fn ablation_move_elimination_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<AblationRow> {
     let run_with = |elim: bool| -> f64 {
-        geomean(spec2017_int().iter().map(|p| matrix.ipc(&move_elim_point(sim, p.name, elim))))
+        geomean(
+            spec2017_int()
+                .iter()
+                .filter_map(|p| matrix.try_ipc(&move_elim_point(sim, p.name, elim))),
+        )
     };
     let off = run_with(false);
     let on = run_with(true);
@@ -735,7 +772,11 @@ pub fn ablation_counter_width_points(sim: &SimConfig) -> Vec<SimPoint> {
 #[must_use]
 pub fn ablation_counter_width_assemble(sim: &SimConfig, matrix: &RunMatrix) -> Vec<AblationRow> {
     let run_width = |width: u32| -> f64 {
-        geomean(spec2017_int().iter().map(|p| matrix.ipc(&counter_width_point(sim, p.name, width))))
+        geomean(
+            spec2017_int()
+                .iter()
+                .filter_map(|p| matrix.try_ipc(&counter_width_point(sim, p.name, width))),
+        )
     };
     let reference = run_width(8);
     COUNTER_WIDTHS

@@ -1,0 +1,612 @@
+//! The run journal: append-only JSONL of completed simulation points,
+//! the substrate of fault-tolerant resume.
+//!
+//! A large campaign (832 deduplicated points per full pass) should not
+//! lose everything to one OOM kill or Ctrl-C. With `ATR_RUN_JOURNAL`
+//! set, the executor appends one JSONL record per *completed* point
+//! and, on the next pass, serves journaled points instead of
+//! re-simulating them — the same serving discipline as the trace
+//! cache, but for results.
+//!
+//! Safety properties:
+//!
+//! * **Keyed, not positional.** Each record carries the full
+//!   [`SimPoint`] memo key plus a digest of the base [`CoreConfig`]
+//!   (neutralized of observation-only fields), so a journal written
+//!   under a different core configuration can never serve a wrong
+//!   result — mismatched records are simply not loaded.
+//! * **Crash tolerant.** Appends are single-buffer writes, so a
+//!   SIGKILL mid-append leaves at most one torn trailing line, which
+//!   reload skips. When unparseable lines are found, the file is
+//!   compacted — surviving records rewritten to a temp file and
+//!   `rename`d into place, so a crash during compaction never loses
+//!   the journal either.
+//! * **Bit-exact.** Every `f64` round-trips through its raw bit
+//!   pattern and every counter through a decimal string, so a resumed
+//!   pass produces figure fingerprints bit-identical to an
+//!   uninterrupted one (CI enforces this).
+//!
+//! The journal stores the timed result and the lifetime log, but not
+//! telemetry (pure observation, excluded from fingerprints): a
+//! journal-served point carries an empty [`RunTelemetry`] and emits no
+//! telemetry record.
+
+use crate::matrix::SimPoint;
+use crate::runner::RunResult;
+use atr_core::{RegLifetime, ReleaseKind};
+use atr_isa::RegClass;
+use atr_json::Json;
+use atr_pipeline::{CoreConfig, CoreStats};
+use atr_telemetry::RunTelemetry;
+use atr_workload::behavior::mix64;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema tag carried by every journal record (bump on incompatible
+/// layout changes; old-tag records read as foreign and are ignored).
+pub const JOURNAL_SCHEMA: &str = "atr-run-journal-v1";
+
+/// File name inside the journal directory.
+pub const JOURNAL_FILE: &str = "run-journal.jsonl";
+
+/// A loaded (and appendable) run journal for one base configuration.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    digest: u64,
+    records: HashMap<String, RunResult>,
+    writer: Option<std::fs::File>,
+}
+
+impl RunJournal {
+    /// Opens (creating if needed) the journal under `dir`, loading
+    /// every intact record whose config digest matches `core`.
+    ///
+    /// Unparseable lines (a torn tail from a killed writer) are
+    /// skipped with a warning and compacted away via an atomic
+    /// tmp+rename rewrite; parseable records with a foreign digest are
+    /// preserved on disk (they belong to a different configuration)
+    /// but not loaded.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory or opening the append
+    /// handle. Callers degrade to journal-less execution.
+    pub fn open(dir: &Path, core: &CoreConfig) -> std::io::Result<RunJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let digest = core_digest(core);
+        let mut records = HashMap::new();
+        let mut keep: Vec<String> = Vec::new();
+        let mut dropped = 0usize;
+        let mut foreign = 0usize;
+        if let Ok(body) = std::fs::read_to_string(&path) {
+            for line in body.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_record(line, digest) {
+                    Parsed::Live(key, result) => {
+                        records.insert(key, *result);
+                        keep.push(line.to_owned());
+                    }
+                    Parsed::Foreign => {
+                        foreign += 1;
+                        keep.push(line.to_owned());
+                    }
+                    Parsed::Garbage => dropped += 1,
+                }
+            }
+        }
+        if dropped > 0 {
+            atr_telemetry::warn!(
+                "run journal {}: dropping {dropped} unparseable record(s) \
+                 (truncated tail from an interrupted pass?)",
+                path.display()
+            );
+            compact(&path, &keep)?;
+        }
+        if foreign > 0 {
+            atr_telemetry::debug!(
+                "run journal {}: {foreign} record(s) belong to a different \
+                 configuration and were not loaded",
+                path.display()
+            );
+        }
+        let writer = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(RunJournal { path, digest, records, writer: Some(writer) })
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loaded records for the current configuration.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the journal empty (for the current configuration)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The journaled result for `point`, if this configuration already
+    /// completed it.
+    #[must_use]
+    pub fn lookup(&self, point: &SimPoint) -> Option<&RunResult> {
+        self.records.get(&point.memo_key())
+    }
+
+    /// Appends one completed point. An I/O failure warns once and
+    /// disables further appends — journaling is a serving layer, never
+    /// a reason to fail the pass.
+    pub fn append(&mut self, point: &SimPoint, result: &RunResult) {
+        let line = encode_record(self.digest, point, result);
+        if let Some(w) = &mut self.writer {
+            let mut buf = line.into_bytes();
+            buf.push(b'\n');
+            if let Err(e) = w.write_all(&buf).and_then(|()| w.flush()) {
+                atr_telemetry::warn!(
+                    "run journal {}: append failed ({e}); journaling disabled for this pass",
+                    self.path.display()
+                );
+                self.writer = None;
+            }
+        }
+        self.records.insert(point.memo_key(), result.clone());
+    }
+}
+
+/// Atomically replaces the journal with `lines` (tmp + rename).
+fn compact(path: &Path, lines: &[String]) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let mut body = lines.join("\n");
+    if !body.is_empty() {
+        body.push('\n');
+    }
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Digest of the base core configuration with observation-only fields
+/// neutralized: telemetry, audit, and event collection are set per run
+/// from the [`crate::session::Session`] (and are excluded from the
+/// memo key for the same reason), so they must not fork the journal.
+/// Everything that *can* change a simulated result — widths, latencies,
+/// memory hierarchy, rename policy — is covered via the config's
+/// `Debug` rendering, so adding a field changes the digest and safely
+/// invalidates old journals (they re-simulate; they never serve stale
+/// results).
+#[must_use]
+pub fn core_digest(core: &CoreConfig) -> u64 {
+    let mut neutral = core.clone();
+    neutral.telemetry = atr_telemetry::TelemetryConfig::default();
+    neutral.rename.audit = false;
+    neutral.rename.collect_events = false;
+    mix64(fnv1a(format!("{neutral:?}").as_bytes()))
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+enum Parsed {
+    /// Schema + digest match, payload decoded.
+    Live(String, Box<RunResult>),
+    /// Parseable record for a different configuration — preserved on
+    /// disk, not loaded.
+    Foreign,
+    /// Unparseable or undecodable — compacted away.
+    Garbage,
+}
+
+fn parse_record(line: &str, want_digest: u64) -> Parsed {
+    let Ok(j) = Json::parse(line) else {
+        return Parsed::Garbage;
+    };
+    if j.get("schema").and_then(Json::as_str) != Some(JOURNAL_SCHEMA) {
+        return Parsed::Garbage;
+    }
+    let Some(digest) =
+        j.get("digest").and_then(Json::as_str).and_then(|s| u64::from_str_radix(s, 16).ok())
+    else {
+        return Parsed::Garbage;
+    };
+    if digest != want_digest {
+        return Parsed::Foreign;
+    }
+    let Some(key) = j.get("key").and_then(Json::as_str) else {
+        return Parsed::Garbage;
+    };
+    match decode_result(&j) {
+        Some(result) => Parsed::Live(key.to_owned(), Box::new(result)),
+        None => Parsed::Garbage,
+    }
+}
+
+fn encode_record(digest: u64, point: &SimPoint, result: &RunResult) -> String {
+    let fields = vec![
+        ("schema".to_owned(), Json::Str(JOURNAL_SCHEMA.to_owned())),
+        ("digest".to_owned(), Json::Str(format!("{digest:016x}"))),
+        ("key".to_owned(), Json::Str(point.memo_key())),
+        ("label".to_owned(), Json::Str(point.label())),
+        ("ipc".to_owned(), Json::Str(f64_hex(result.ipc))),
+        ("avg_int".to_owned(), Json::Str(f64_hex(result.avg_int_occupancy))),
+        ("avg_fp".to_owned(), Json::Str(f64_hex(result.avg_fp_occupancy))),
+        ("stats".to_owned(), encode_stats(&result.stats)),
+        (
+            "lifetimes".to_owned(),
+            Json::Arr(result.lifetimes.iter().map(|l| Json::Str(encode_lifetime(l))).collect()),
+        ),
+    ];
+    Json::Obj(fields).compact()
+}
+
+fn decode_result(j: &Json) -> Option<RunResult> {
+    let f = |key: &str| j.get(key).and_then(Json::as_str).and_then(hex_f64);
+    let lifetimes = match j.get("lifetimes")? {
+        Json::Arr(items) => items
+            .iter()
+            .map(|item| item.as_str().and_then(decode_lifetime))
+            .collect::<Option<Vec<_>>>()?,
+        _ => return None,
+    };
+    Some(RunResult {
+        ipc: f("ipc")?,
+        avg_int_occupancy: f("avg_int")?,
+        avg_fp_occupancy: f("avg_fp")?,
+        stats: decode_stats(j.get("stats")?)?,
+        lifetimes,
+        telemetry: RunTelemetry::default(),
+    })
+}
+
+/// `f64` → raw-bit hex: lossless for every value, including ones whose
+/// shortest decimal form would not round-trip the JSON parser.
+fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn hex_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Flat fixed-order counter array covering every `CoreStats` field.
+/// Decimal strings keep `u64`/`u128` exact without `i64` clamping.
+fn encode_stats(s: &CoreStats) -> Json {
+    let mut out: Vec<String> = vec![
+        s.cycles.to_string(),
+        s.retired.to_string(),
+        s.fetched.to_string(),
+        s.wrong_path_fetched.to_string(),
+        s.wrong_path_renamed.to_string(),
+        s.cond_branches.to_string(),
+        s.cond_mispredicts.to_string(),
+        s.target_mispredicts.to_string(),
+        s.flushes.to_string(),
+        s.exceptions.to_string(),
+        s.interrupts.to_string(),
+        s.interrupt_wait_cycles.to_string(),
+        s.rename_freelist_stalls.to_string(),
+        s.rename_backpressure_stalls.to_string(),
+        s.int_prf_occupancy_sum.to_string(),
+        s.fp_prf_occupancy_sum.to_string(),
+    ];
+    for prf in [&s.int_prf, &s.fp_prf] {
+        out.extend([
+            prf.allocations.to_string(),
+            prf.released_commit.to_string(),
+            prf.released_precommit.to_string(),
+            prf.released_atomic.to_string(),
+            prf.released_flush.to_string(),
+            prf.flush_double_free_avoided.to_string(),
+            prf.releases.to_string(),
+        ]);
+    }
+    let (l1i, l1d, l2, llc) = &s.caches;
+    for c in [l1i, l1d, l2, llc] {
+        out.extend([
+            c.hits.to_string(),
+            c.misses.to_string(),
+            c.inflight_hits.to_string(),
+            c.prefetch_fills.to_string(),
+            c.prefetch_useful.to_string(),
+            c.writebacks.to_string(),
+        ]);
+    }
+    out.extend([s.dram.0.to_string(), s.dram.1.to_string(), s.dram.2.to_string()]);
+    out.push(s.markings.to_string());
+    Json::Arr(out.into_iter().map(Json::Str).collect())
+}
+
+fn decode_stats(j: &Json) -> Option<CoreStats> {
+    let Json::Arr(items) = j else {
+        return None;
+    };
+    let mut it = items.iter().map(|item| item.as_str());
+    let mut u64_next = || -> Option<u64> { it.next()??.parse().ok() };
+    let mut s = CoreStats { cycles: u64_next()?, ..CoreStats::default() };
+    s.retired = u64_next()?;
+    s.fetched = u64_next()?;
+    s.wrong_path_fetched = u64_next()?;
+    s.wrong_path_renamed = u64_next()?;
+    s.cond_branches = u64_next()?;
+    s.cond_mispredicts = u64_next()?;
+    s.target_mispredicts = u64_next()?;
+    s.flushes = u64_next()?;
+    s.exceptions = u64_next()?;
+    s.interrupts = u64_next()?;
+    s.interrupt_wait_cycles = u64_next()?;
+    s.rename_freelist_stalls = u64_next()?;
+    s.rename_backpressure_stalls = u64_next()?;
+    s.int_prf_occupancy_sum = it.next()??.parse().ok()?;
+    s.fp_prf_occupancy_sum = it.next()??.parse().ok()?;
+    for prf in [&mut s.int_prf, &mut s.fp_prf] {
+        prf.allocations = it.next()??.parse().ok()?;
+        prf.released_commit = it.next()??.parse().ok()?;
+        prf.released_precommit = it.next()??.parse().ok()?;
+        prf.released_atomic = it.next()??.parse().ok()?;
+        prf.released_flush = it.next()??.parse().ok()?;
+        prf.flush_double_free_avoided = it.next()??.parse().ok()?;
+        prf.releases = it.next()??.parse().ok()?;
+    }
+    {
+        let (l1i, l1d, l2, llc) = &mut s.caches;
+        for c in [l1i, l1d, l2, llc] {
+            c.hits = it.next()??.parse().ok()?;
+            c.misses = it.next()??.parse().ok()?;
+            c.inflight_hits = it.next()??.parse().ok()?;
+            c.prefetch_fills = it.next()??.parse().ok()?;
+            c.prefetch_useful = it.next()??.parse().ok()?;
+            c.writebacks = it.next()??.parse().ok()?;
+        }
+    }
+    s.dram = (it.next()??.parse().ok()?, it.next()??.parse().ok()?, it.next()??.parse().ok()?);
+    s.markings = it.next()??.parse().ok()?;
+    if it.next().is_some() {
+        return None; // layout drift: more counters on disk than known
+    }
+    Some(s)
+}
+
+/// One lifetime record as a compact space-separated field string:
+/// `class alloc_cycle alloc_seq wrong_path consumers last_consume
+/// redefine redefiner_precommit redefiner_commit release kind
+/// saw_branch saw_exception overflowed`, with `-` for absent options.
+fn encode_lifetime(l: &RegLifetime) -> String {
+    let opt = |v: Option<u64>| v.map_or_else(|| "-".to_owned(), |x| x.to_string());
+    let kind = match l.release_kind {
+        None => '-',
+        Some(ReleaseKind::RedefinerCommit) => 'c',
+        Some(ReleaseKind::Precommit) => 'p',
+        Some(ReleaseKind::Atomic) => 'a',
+        Some(ReleaseKind::FlushWalk) => 'w',
+    };
+    format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+        if l.class == RegClass::Int { 'i' } else { 'f' },
+        l.alloc_cycle,
+        l.alloc_seq,
+        u8::from(l.wrong_path),
+        l.consumers,
+        opt(l.last_consume_cycle),
+        opt(l.redefine_cycle),
+        opt(l.redefiner_precommit_cycle),
+        opt(l.redefiner_commit_cycle),
+        opt(l.release_cycle),
+        kind,
+        u8::from(l.saw_branch),
+        u8::from(l.saw_exception),
+        u8::from(l.overflowed),
+    )
+}
+
+fn decode_lifetime(s: &str) -> Option<RegLifetime> {
+    let mut it = s.split(' ');
+    let class = match it.next()? {
+        "i" => RegClass::Int,
+        "f" => RegClass::Fp,
+        _ => return None,
+    };
+    let mut num = || -> Option<u64> { it.next()?.parse().ok() };
+    let alloc_cycle = num()?;
+    let alloc_seq = num()?;
+    let wrong_path = num()? != 0;
+    let consumers = u32::try_from(num()?).ok()?;
+    let mut opt = || -> Option<Option<u64>> {
+        match it.next()? {
+            "-" => Some(None),
+            raw => raw.parse().ok().map(Some),
+        }
+    };
+    let last_consume_cycle = opt()?;
+    let redefine_cycle = opt()?;
+    let redefiner_precommit_cycle = opt()?;
+    let redefiner_commit_cycle = opt()?;
+    let release_cycle = opt()?;
+    let release_kind = match it.next()? {
+        "-" => None,
+        "c" => Some(ReleaseKind::RedefinerCommit),
+        "p" => Some(ReleaseKind::Precommit),
+        "a" => Some(ReleaseKind::Atomic),
+        "w" => Some(ReleaseKind::FlushWalk),
+        _ => return None,
+    };
+    let mut flag = || -> Option<bool> { it.next().map(|v| v != "0") };
+    let saw_branch = flag()?;
+    let saw_exception = flag()?;
+    let overflowed = flag()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(RegLifetime {
+        class,
+        alloc_cycle,
+        alloc_seq,
+        wrong_path,
+        consumers,
+        last_consume_cycle,
+        redefine_cycle,
+        redefiner_precommit_cycle,
+        redefiner_commit_cycle,
+        release_cycle,
+        release_kind,
+        saw_branch,
+        saw_exception,
+        overflowed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atr_core::ReleaseScheme;
+
+    fn sample_result() -> RunResult {
+        let mut stats = CoreStats { cycles: 12_345, ..CoreStats::default() };
+        stats.retired = 45_678;
+        stats.int_prf_occupancy_sum = u128::from(u64::MAX) + 17;
+        stats.int_prf.released_atomic = 99;
+        stats.caches.1.misses = 7;
+        stats.dram = (1, 2, 3);
+        stats.markings = 5;
+        RunResult {
+            ipc: 1.234_567_890_123_456_7,
+            avg_int_occupancy: 0.1 + 0.2, // deliberately non-representable
+            avg_fp_occupancy: f64::MIN_POSITIVE,
+            stats,
+            lifetimes: vec![
+                RegLifetime {
+                    class: RegClass::Fp,
+                    alloc_cycle: 10,
+                    alloc_seq: 3,
+                    wrong_path: true,
+                    consumers: 4,
+                    last_consume_cycle: Some(40),
+                    redefine_cycle: None,
+                    redefiner_precommit_cycle: Some(50),
+                    redefiner_commit_cycle: None,
+                    release_cycle: Some(60),
+                    release_kind: Some(ReleaseKind::Atomic),
+                    saw_branch: true,
+                    saw_exception: false,
+                    overflowed: true,
+                },
+                RegLifetime {
+                    class: RegClass::Int,
+                    alloc_cycle: 0,
+                    alloc_seq: 0,
+                    wrong_path: false,
+                    consumers: 0,
+                    last_consume_cycle: None,
+                    redefine_cycle: None,
+                    redefiner_precommit_cycle: None,
+                    redefiner_commit_cycle: None,
+                    release_cycle: None,
+                    release_kind: None,
+                    saw_branch: false,
+                    saw_exception: false,
+                    overflowed: false,
+                },
+            ],
+            telemetry: RunTelemetry::default(),
+        }
+    }
+
+    fn point() -> SimPoint {
+        SimPoint::new("505.mcf_r", ReleaseScheme::Atr { redefine_delay: 1 }, 96, 500, 2_000)
+    }
+
+    #[test]
+    fn record_round_trip_is_bit_exact() {
+        let result = sample_result();
+        let line = encode_record(0xdead_beef, &point(), &result);
+        assert!(!line.contains('\n'));
+        let Parsed::Live(key, back) = parse_record(&line, 0xdead_beef) else {
+            panic!("round trip failed to parse as live");
+        };
+        assert_eq!(key, point().memo_key());
+        assert_eq!(back.ipc.to_bits(), result.ipc.to_bits());
+        assert_eq!(back.avg_int_occupancy.to_bits(), result.avg_int_occupancy.to_bits());
+        assert_eq!(back.avg_fp_occupancy.to_bits(), result.avg_fp_occupancy.to_bits());
+        assert_eq!(format!("{:?}", back.stats), format!("{:?}", result.stats));
+        assert_eq!(format!("{:?}", back.lifetimes), format!("{:?}", result.lifetimes));
+        assert!(back.telemetry.is_empty(), "telemetry is never journaled");
+    }
+
+    #[test]
+    fn digest_mismatch_reads_as_foreign_and_garbage_as_garbage() {
+        let line = encode_record(0x1111, &point(), &sample_result());
+        assert!(matches!(parse_record(&line, 0x2222), Parsed::Foreign));
+        assert!(matches!(parse_record(&line[..line.len() / 2], 0x1111), Parsed::Garbage));
+        assert!(matches!(parse_record("{\"schema\":\"other\"}", 0x1111), Parsed::Garbage));
+        // A live-looking record with a corrupt payload is garbage, not
+        // a wrong result.
+        let broken = line.replace("\"ipc\":\"", "\"ipc\":\"zz");
+        assert!(matches!(parse_record(&broken, 0x1111), Parsed::Garbage));
+    }
+
+    #[test]
+    fn core_digest_ignores_observation_knobs_but_not_timing_knobs() {
+        let base = CoreConfig::default();
+        let mut observed = base.clone();
+        observed.rename.audit = true;
+        observed.rename.collect_events = true;
+        observed.telemetry = atr_telemetry::TelemetryConfig {
+            level: atr_telemetry::TelemetryLevel::Stats,
+            ..atr_telemetry::TelemetryConfig::default()
+        };
+        assert_eq!(core_digest(&base), core_digest(&observed));
+        let mut timed = base.clone();
+        timed.rob_size = 256;
+        assert_ne!(core_digest(&base), core_digest(&timed));
+    }
+
+    #[test]
+    fn journal_appends_reloads_and_compacts_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("atr_journal_unit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let core = CoreConfig::default();
+        let result = sample_result();
+
+        let mut j = RunJournal::open(&dir, &core).unwrap();
+        assert!(j.is_empty());
+        j.append(&point(), &result);
+        assert_eq!(j.len(), 1);
+        drop(j);
+
+        // Simulate a SIGKILL mid-append: a torn trailing line.
+        let path = dir.join(JOURNAL_FILE);
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"schema\":\"atr-run-jou").unwrap();
+        drop(f);
+
+        let j = RunJournal::open(&dir, &core).unwrap();
+        assert_eq!(j.len(), 1, "intact record survives a torn tail");
+        let served = j.lookup(&point()).expect("journaled point is served");
+        assert_eq!(served.ipc.to_bits(), result.ipc.to_bits());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 1, "compaction dropped the torn tail");
+
+        // A different core config must not be served by this journal,
+        // but must not destroy its records either.
+        let mut other = core.clone();
+        other.rob_size = 64;
+        let j2 = RunJournal::open(&dir, &other).unwrap();
+        assert!(j2.is_empty(), "config-digest mismatch is ignored");
+        let j3 = RunJournal::open(&dir, &core).unwrap();
+        assert_eq!(j3.len(), 1, "foreign-config open preserved the records");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

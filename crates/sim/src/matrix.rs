@@ -12,8 +12,9 @@
 //! (the baselines that fig01/fig10/fig11/fig15 all re-ran) simulate
 //! exactly once per pass.
 
-use crate::executor;
+use crate::executor::{self, PointFailure};
 use crate::runner::RunResult;
+use crate::session::Session;
 use atr_core::ReleaseScheme;
 use atr_pipeline::CoreConfig;
 use std::collections::HashMap;
@@ -123,6 +124,16 @@ impl SimPoint {
         p
     }
 
+    /// The memoization key as a string: the `Debug` rendering of the
+    /// complete point. The run journal stores results under this key,
+    /// so a future field added to `SimPoint` (which must change the
+    /// rendering) safely misses old journal records instead of serving
+    /// stale ones.
+    #[must_use]
+    pub fn memo_key(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// One-line human label for progress output.
     #[must_use]
     pub fn label(&self) -> String {
@@ -152,6 +163,10 @@ pub struct RunMatrix {
     /// Requested keys served by a different cached key (canonicalized
     /// tweaks, events-superset runs).
     alias: HashMap<SimPoint, SimPoint>,
+    /// Points that produced a structured failure instead of a result
+    /// (panicked past retries, unknown profile). Kept so assemblies can
+    /// degrade to the surviving set and reports can say `n/m failed`.
+    failures: HashMap<SimPoint, PointFailure>,
     requested: usize,
     executed: usize,
 }
@@ -178,6 +193,20 @@ impl RunMatrix {
     ///   observation-only and never perturbs timing (pinned by
     ///   `executor::tests::event_collection_does_not_change_timing`).
     pub fn ensure(&mut self, core: &CoreConfig, points: &[SimPoint]) {
+        self.ensure_with(&Session::from_env(), core, points);
+    }
+
+    /// [`RunMatrix::ensure`] against an explicit [`Session`] — the
+    /// environment is consulted exactly zero times, so library callers
+    /// and tests get deterministic sessions, and drivers resolve
+    /// `Session::from_env()` once at entry instead of per batch.
+    ///
+    /// A point that fails (panics past its retry budget, or names an
+    /// unknown profile) is recorded in the failure set instead of
+    /// aborting the batch; it is not retried by later `ensure` calls in
+    /// the same process (the simulator is deterministic — it would fail
+    /// again).
+    pub fn ensure_with(&mut self, session: &Session, core: &CoreConfig, points: &[SimPoint]) {
         self.requested += points.len();
         // Events-enabled keys that will exist after this call, from the
         // cache and from this batch.
@@ -195,7 +224,10 @@ impl RunMatrix {
             if *orig != key {
                 self.alias.insert(orig.clone(), key.clone());
             }
-            if !self.cache.contains_key(&key) && seen.insert(key.clone()) {
+            if !self.cache.contains_key(&key)
+                && !self.failures.contains_key(&key)
+                && seen.insert(key.clone())
+            {
                 missing.push(key);
             }
         }
@@ -203,30 +235,75 @@ impl RunMatrix {
             return;
         }
         self.executed += missing.len();
-        let results = executor::execute(core, &missing);
-        for (point, result) in missing.into_iter().zip(results) {
-            self.cache.insert(point, result);
+        let outcomes = executor::execute_session(session, core, &missing);
+        for (point, outcome) in missing.into_iter().zip(outcomes) {
+            match outcome {
+                Ok(result) => {
+                    self.cache.insert(point, result);
+                }
+                Err(failure) => {
+                    self.failures.insert(point, failure);
+                }
+            }
         }
+    }
+
+    /// The cached result for a point, or `None` if the point was
+    /// ensured but **failed** (assemblies use this to degrade to the
+    /// surviving set instead of panicking on a poisoned point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point was never [`RunMatrix::ensure`]d — that is a
+    /// bug in the calling figure's `points()` declaration, not a
+    /// runtime failure, so it stays loud.
+    #[must_use]
+    pub fn try_get(&self, point: &SimPoint) -> Option<&RunResult> {
+        let key = self.alias.get(point).unwrap_or(point);
+        if let Some(result) = self.cache.get(key) {
+            return Some(result);
+        }
+        if self.failures.contains_key(key) {
+            return None;
+        }
+        panic!("point not ensured before assembly: {}", point.label())
+    }
+
+    /// Convenience: the cached IPC of a point, `None` if it failed.
+    #[must_use]
+    pub fn try_ipc(&self, point: &SimPoint) -> Option<f64> {
+        self.try_get(point).map(|r| r.ipc)
     }
 
     /// The cached result for a point.
     ///
     /// # Panics
     ///
-    /// Panics if the point was never [`RunMatrix::ensure`]d — that is a
-    /// bug in the calling figure's `points()` declaration.
+    /// Panics if the point was never [`RunMatrix::ensure`]d or if it
+    /// failed — callers that can degrade use [`RunMatrix::try_get`].
     #[must_use]
     pub fn get(&self, point: &SimPoint) -> &RunResult {
-        let key = self.alias.get(point).unwrap_or(point);
-        self.cache
-            .get(key)
-            .unwrap_or_else(|| panic!("point not ensured before assembly: {}", point.label()))
+        self.try_get(point).unwrap_or_else(|| {
+            let key = self.alias.get(point).unwrap_or(point);
+            panic!("point failed: {}", self.failures[key])
+        })
     }
 
     /// Convenience: the cached IPC of a point.
     #[must_use]
     pub fn ipc(&self, point: &SimPoint) -> f64 {
         self.get(point).ipc
+    }
+
+    /// Number of ensured points that failed.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// The failure records, for reporting.
+    pub fn failures(&self) -> impl Iterator<Item = (&SimPoint, &PointFailure)> {
+        self.failures.iter()
     }
 
     /// Points requested across all `ensure` calls, duplicates included —
@@ -246,13 +323,17 @@ impl RunMatrix {
     #[must_use]
     pub fn summary(&self) -> String {
         let saved = self.requested - self.executed;
-        format!(
+        let mut s = format!(
             "{} points requested, {} simulated ({} deduplicated, {:.2}x)",
             self.requested,
             self.executed,
             saved,
             self.requested as f64 / self.executed.max(1) as f64
-        )
+        );
+        if !self.failures.is_empty() {
+            s.push_str(&format!(", {} FAILED", self.failures.len()));
+        }
+        s
     }
 }
 
@@ -314,6 +395,39 @@ mod tests {
     fn get_of_unensured_point_panics() {
         let m = RunMatrix::new();
         let _ = m.get(&SimPoint::new("505.mcf_r", ReleaseScheme::Baseline, 64, 10, 20));
+    }
+
+    #[test]
+    fn memo_key_covers_every_field() {
+        let base = SimPoint::new("505.mcf_r", ReleaseScheme::Baseline, 64, 100, 400);
+        assert_eq!(base.memo_key(), base.clone().memo_key());
+        assert_ne!(base.memo_key(), base.clone().with_events().memo_key());
+        assert_ne!(base.memo_key(), SimPoint { rf_size: 96, ..base.clone() }.memo_key());
+        assert_ne!(
+            base.memo_key(),
+            base.clone()
+                .with_tweak(CoreTweak { counter_width: Some(3), ..CoreTweak::default() })
+                .memo_key()
+        );
+    }
+
+    #[test]
+    fn failed_points_degrade_instead_of_poisoning_the_matrix() {
+        let core = CoreConfig::default();
+        let good = SimPoint::new("548.exchange2_r", ReleaseScheme::Baseline, 64, 50, 200);
+        let bad = SimPoint::new("505.mcf_r", ReleaseScheme::Baseline, 64, 50, 200);
+        let session = Session::default().quiet().with_retries(0).with_fault_injection("505.mcf_r");
+        let mut m = RunMatrix::new();
+        m.ensure_with(&session, &core, &[good.clone(), bad.clone()]);
+        assert_eq!(m.failed(), 1);
+        assert!(m.try_ipc(&good).is_some(), "the healthy point survives its poisoned sibling");
+        assert_eq!(m.try_ipc(&bad), None);
+        assert!(m.summary().contains("1 FAILED"), "{}", m.summary());
+        // A later ensure must not re-run the deterministic failure.
+        m.ensure_with(&session, &core, std::slice::from_ref(&bad));
+        assert_eq!(m.executed(), 2, "the failed point is not retried across ensure calls");
+        let (_, failure) = m.failures().next().expect("failure record kept");
+        assert!(failure.payload.contains("injected fault"), "{}", failure.payload);
     }
 
     #[test]

@@ -86,6 +86,20 @@ pub fn cpi_table(stacks: &[(String, &CpiStack)]) -> String {
     render_table(&headers, &rows)
 }
 
+/// The explicit degraded-coverage marker for a pass with failed
+/// points: `Some("7/832 points failed; figures cover the surviving
+/// set")`, `None` when everything succeeded. Drivers print it under
+/// their tables so a partial pass can never masquerade as a complete
+/// one.
+#[must_use]
+pub fn coverage_marker(failed: usize, requested: usize) -> Option<String> {
+    if failed == 0 {
+        None
+    } else {
+        Some(format!("{failed}/{requested} points failed; figures cover the surviving set"))
+    }
+}
+
 /// The directory experiment JSON lands in: `ATR_RESULTS_DIR` if set,
 /// otherwise `<workspace root>/results` — so the binaries write to the
 /// same place no matter which directory they are launched from.
@@ -154,6 +168,13 @@ mod tests {
         assert!(t.lines().last().unwrap().starts_with("cpi"));
         // base: 2 cycles / 8 retired = 0.25 CPI.
         assert!(t.contains("0.250"), "{t}");
+    }
+
+    #[test]
+    fn coverage_marker_is_silent_on_full_coverage() {
+        assert_eq!(coverage_marker(0, 832), None);
+        let m = coverage_marker(7, 832).unwrap();
+        assert!(m.contains("7/832"), "{m}");
     }
 
     #[test]

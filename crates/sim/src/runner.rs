@@ -33,13 +33,32 @@ pub struct RunSpec {
 
 impl RunSpec {
     /// A spec with the environment-controlled budget, audit switch, and
-    /// telemetry level.
+    /// telemetry level — sugar for `for_session(&Session::from_env(), …)`.
     #[must_use]
     pub fn new(scheme: ReleaseScheme, rf_size: usize) -> Self {
+        RunSpec::for_session(&crate::session::Session::from_env(), scheme, rf_size)
+    }
+
+    /// A spec taking its audit switch and telemetry level from a
+    /// resolved [`crate::session::Session`] (budget still from
+    /// `ATR_SIM_WARMUP`/`ATR_SIM_INSTS` — the budget is part of the
+    /// *measurement*, not the session's serving knobs).
+    #[must_use]
+    pub fn for_session(
+        session: &crate::session::Session,
+        scheme: ReleaseScheme,
+        rf_size: usize,
+    ) -> Self {
         let (warmup, measure) = crate::config::budget_from_env();
-        let audit = crate::config::audit_from_env();
-        let telemetry = crate::config::telemetry_from_env();
-        RunSpec { scheme, rf_size, warmup, measure, collect_events: false, audit, telemetry }
+        RunSpec {
+            scheme,
+            rf_size,
+            warmup,
+            measure,
+            collect_events: false,
+            audit: session.audit,
+            telemetry: session.telemetry,
+        }
     }
 
     /// Enables lifetime-event collection.

@@ -100,4 +100,64 @@ echo "wall clock: live ${live_ms}ms, cold-cache ${cold_ms}ms, warm-cache ${warm_
 awk -v l="$live_ms" -v w="$warm_ms" \
     'BEGIN { printf "warm-cache speedup over live: %.2fx\n", l / w }'
 
+echo "== journal interrupt-resume gate + journal-off/on fingerprint identity"
+# A journaled all_experiments pass is SIGKILLed mid-matrix, then resumed
+# with the same journal directory. The resume must (a) serve a nonzero
+# number of points straight from the journal — i.e. actually skip
+# re-simulation — and (b) produce figure JSON bit-identical to the
+# journal-less live pass above. A third, uninterrupted journal-on pass
+# asserts the journal is pure observation: fingerprints with the journal
+# on and off must match exactly.
+#
+# The binary is exec'd directly (not via `cargo run`) so the kill hits
+# the simulator process itself rather than a cargo wrapper that would
+# orphan it.
+cargo build --release --offline -p atr-bench --bin all_experiments
+journal_dir="$(mktemp -d)"
+resume_results="$(mktemp -d)"
+env $tiny ATR_RESULTS_DIR="$(mktemp -d)" ATR_RUN_JOURNAL="$journal_dir" \
+    target/release/all_experiments >/dev/null 2>&1 &
+victim=$!
+journal_file="$journal_dir/run-journal.jsonl"
+for _ in $(seq 1 300); do
+    kill -0 "$victim" 2>/dev/null || break
+    [ -f "$journal_file" ] && [ "$(wc -l <"$journal_file")" -ge 20 ] && break
+    sleep 0.1
+done
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+if [ ! -s "$journal_file" ]; then
+    echo "FAIL: the killed pass journaled nothing — nothing to resume from" >&2
+    exit 1
+fi
+echo "killed the journaled pass after $(wc -l <"$journal_file") completed point(s)"
+
+resume_log="$(mktemp)"
+env $tiny ATR_RESULTS_DIR="$resume_results" ATR_RUN_JOURNAL="$journal_dir" \
+    target/release/all_experiments >/dev/null 2>"$resume_log"
+served=$(sed -n 's/.*\[journal\] \([0-9]*\) of .*/\1/p' "$resume_log" | head -1)
+if [ -z "$served" ] || [ "$served" -eq 0 ]; then
+    echo "FAIL: the resume served no points from the journal" >&2
+    sed -n 's/^/  /p' "$resume_log" | tail -20 >&2
+    exit 1
+fi
+resume_fp=$(fingerprint "$resume_results")
+if [ "$resume_fp" != "$live_fp" ]; then
+    echo "FAIL: the resumed pass diverged from the uninterrupted live pass" >&2
+    echo "  live $live_fp / resumed $resume_fp" >&2
+    exit 1
+fi
+echo "resume gate OK: $served point(s) served from the journal, fingerprint identical"
+
+journal_results="$(mktemp -d)"
+env $tiny ATR_RESULTS_DIR="$journal_results" ATR_RUN_JOURNAL="$(mktemp -d)" \
+    target/release/all_experiments >/dev/null
+journal_fp=$(fingerprint "$journal_results")
+if [ "$journal_fp" != "$live_fp" ]; then
+    echo "FAIL: enabling the run journal perturbed the results" >&2
+    echo "  journal-off $live_fp / journal-on $journal_fp" >&2
+    exit 1
+fi
+echo "journal-off/on fingerprint identity OK"
+
 echo "CI OK"
